@@ -1,0 +1,36 @@
+# Convenience targets for the stash-directory reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench quick-bench examples docs clean
+
+install:
+	$(PYTHON) -m pip install -e .[dev]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+quick-bench:
+	$(PYTHON) -m pytest benchmarks/bench_table1_config.py \
+		benchmarks/bench_table2_storage.py \
+		benchmarks/bench_fig1_characterization.py --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/directory_scaling.py swaptions-like 1000
+	$(PYTHON) examples/workload_characterization.py 1000
+	$(PYTHON) examples/custom_directory.py mix 1000
+	$(PYTHON) examples/noc_and_dram_analysis.py mix 1000
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py docs/API.md
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .benchmarks

@@ -1,0 +1,26 @@
+"""A1 — ablation: stash eligibility (any-private vs exclusive-only).
+
+The paper stashes any entry tracking a single holder; the stricter
+exclusive-only variant stashes less (lone-S entries get invalidated), which
+should never help performance.
+"""
+
+from repro.analysis.experiments import run_ablation_eligibility
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_abl1_eligibility(benchmark, report):
+    out = once(
+        benchmark,
+        run_ablation_eligibility,
+        workloads="all",
+        ratio=0.125,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    rows = out.data["rows"]
+    any_private_times = [row[1] for row in rows]
+    exclusive_times = [row[3] for row in rows]
+    # The paper's broader rule is at least as good on average.
+    assert sum(any_private_times) <= sum(exclusive_times) * 1.02

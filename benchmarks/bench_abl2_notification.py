@@ -1,0 +1,24 @@
+"""A2 — ablation: explicit clean-eviction notification.
+
+Notifications keep the stash bits (and sharer lists) precise: false
+discoveries drop to zero, at the price of one extra control message per
+clean L1 eviction.
+"""
+
+from repro.analysis.experiments import run_ablation_notification
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_abl2_notification(benchmark, report):
+    out = once(
+        benchmark,
+        run_ablation_notification,
+        workloads="all",
+        ratio=0.125,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    for _, false_silent, false_notify, _, _ in out.data["rows"]:
+        assert false_notify == 0.0
+        assert false_silent >= false_notify

@@ -1,0 +1,34 @@
+"""A3 — ablation: sharer-set representation (storage vs traffic).
+
+Full bit vectors are exact but scale linearly with core count; coarse
+vectors and limited pointers shrink the entry at the cost of spurious
+invalidation messages.  Stashing composes with all three (the private test
+reads the sharer counter, not the encoding).
+"""
+
+from repro.analysis.experiments import run_ablation_sharers
+from repro.common.config import SharerFormat
+from repro.directory.sharers import sharer_storage_bits
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_abl3_sharer_formats(benchmark, report):
+    out = once(
+        benchmark,
+        run_ablation_sharers,
+        workloads=None,
+        ratio=0.25,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    rows = {row[0]: row for row in out.data["rows"]}
+    # Coarse vectors already shrink the entry at 16 cores...
+    assert rows["coarse"][1] < rows["full"][1]
+    # ...limited pointers only pay off at scale (they are a scalability
+    # format): check the crossover at 64 cores analytically.
+    assert sharer_storage_bits(
+        SharerFormat.LIMITED_POINTER, 64, pointers=4
+    ) < sharer_storage_bits(SharerFormat.FULL_BIT_VECTOR, 64)
+    # No format breaks performance catastrophically.
+    assert all(row[4] < 1.5 for row in out.data["rows"])

@@ -1,0 +1,71 @@
+"""A4 — ablation: adaptive stash throttling vs always-stash.
+
+The adaptive extension suspends stashing when discovery broadcasts keep
+missing (stale stash bits).  On workloads with good private reuse it should
+behave like the plain stash directory; on streaming workloads with 100%
+false discoveries it should cut broadcast traffic.
+"""
+
+from repro.analysis.experiments import ExperimentOutput, make_config, simulate
+from repro.analysis.tables import render_table
+from repro.common.config import DirectoryKind
+
+from benchmarks.conftest import BENCH_OPS, once
+
+WORKLOADS = [
+    "blackscholes-like",  # good reuse: stashing pays
+    "swaptions-like",     # tiny working set: little stashing at all
+    "ocean-like",         # streaming: stale stash bits everywhere
+    "radix-like",         # streaming, write-heavy
+    "mix",
+]
+
+
+def run_a4():
+    rows = []
+    for workload in WORKLOADS:
+        baseline = simulate(
+            workload, make_config(DirectoryKind.SPARSE, 1.0), ops_per_core=BENCH_OPS
+        )
+        plain = simulate(
+            workload, make_config(DirectoryKind.STASH, 0.125), ops_per_core=BENCH_OPS
+        )
+        adaptive = simulate(
+            workload,
+            make_config(DirectoryKind.ADAPTIVE_STASH, 0.125),
+            ops_per_core=BENCH_OPS,
+        )
+        rows.append(
+            [
+                workload,
+                plain.normalized_time(baseline),
+                adaptive.normalized_time(baseline),
+                plain.discovery_broadcasts,
+                adaptive.discovery_broadcasts,
+                adaptive.stats.get("system.directory.throttle_suspensions", 0.0),
+            ]
+        )
+    text = render_table(
+        ["workload", "stash time", "adaptive time",
+         "stash broadcasts", "adaptive broadcasts", "suspensions"],
+        rows,
+        title="A4: adaptive stash throttling at R=1/8x",
+    )
+    return ExperimentOutput("A4", "Adaptive stash throttling", text, {"rows": rows})
+
+
+def test_abl4_adaptive_throttling(benchmark, report):
+    out = once(benchmark, run_a4)
+    report(out)
+    by_name = {row[0]: row for row in out.data["rows"]}
+    # Throttling never increases broadcast count.
+    assert all(row[4] <= row[3] for row in out.data["rows"])
+    # Streaming workloads: throttling cuts broadcasts meaningfully.
+    assert by_name["ocean-like"][4] < by_name["ocean-like"][3]
+    assert by_name["radix-like"][4] < 0.7 * by_name["radix-like"][3]
+    # Honest finding (recorded in EXPERIMENTS.md): the false-discovery rate
+    # alone is an imperfect throttle signal — on pure-private workloads a
+    # stale stash bit still saved a live block earlier, so suspending
+    # stashing gives up some of the win.  Adaptive must stay close to plain
+    # stash, not necessarily match it.
+    assert by_name["blackscholes-like"][2] < by_name["blackscholes-like"][1] + 0.10

@@ -1,0 +1,22 @@
+"""F11 — the headline claim with two-level private caches.
+
+The paper's CMP gives each core a private L2 and the directory tracks that
+level.  This benchmark re-runs the headline comparison on the two-level
+configuration: the stash win must survive the deeper private hierarchy
+(silent L2 evictions make directory state *staler*, if anything).
+"""
+
+from repro.analysis.experiments import run_private_l2_headline
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_fig11_private_l2_headline(benchmark, report):
+    out = once(benchmark, run_private_l2_headline, workloads="all",
+               ops_per_core=BENCH_OPS)
+    report(out)
+    geomean_row = out.data["rows"][-1]
+    assert geomean_row[0] == "geomean"
+    # stash@1/8 within a few percent of sparse@1x, sparse@1/8 worse.
+    assert geomean_row[3] < 1.08
+    assert geomean_row[2] > geomean_row[3]

@@ -1,0 +1,21 @@
+"""F1 — workload sharing characterization (the motivation figure).
+
+The stash design rests on one observation: most blocks — and so most
+directory entries — are private.  This regenerates the private-block
+fraction and sharing-degree histogram for every suite workload.
+"""
+
+from repro.analysis.experiments import run_characterization
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_fig1_characterization(benchmark, report):
+    out = once(
+        benchmark, run_characterization, workloads="all", ops_per_core=BENCH_OPS
+    )
+    report(out)
+    fractions = [wl["private_block_fraction"] for wl in out.data.values()]
+    # The motivation must hold: the majority of blocks are private in most
+    # workloads (paper reports ~75-90% on PARSEC/SPLASH-2).
+    assert sum(f > 0.5 for f in fractions) >= len(fractions) - 2

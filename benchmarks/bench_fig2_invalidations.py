@@ -1,0 +1,24 @@
+"""F2 — conventional sparse: directory-induced invalidations vs provisioning.
+
+The under-provisioning problem the paper opens with: as R shrinks, the
+conventional design invalidates more and more live cached blocks.
+"""
+
+from repro.analysis.experiments import RATIOS, run_invalidation_sweep
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_fig2_invalidations_vs_provisioning(benchmark, report):
+    out = once(
+        benchmark,
+        run_invalidation_sweep,
+        workloads=None,
+        ratios=RATIOS,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    # Shape: invalidations grow monotonically-ish as R shrinks; the 1/16
+    # point dwarfs the 2x point on every measured workload.
+    for series in out.data["series"].values():
+        assert series[-1] > series[0]

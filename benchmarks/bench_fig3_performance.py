@@ -1,0 +1,42 @@
+"""F3 — THE headline figure: normalized execution time vs provisioning.
+
+Regenerates the paper's main result over the full workload suite: the stash
+directory at R=1/8 matches the conventional sparse directory at R=1, while
+the conventional design degrades sharply as R shrinks; cuckoo falls in
+between and ideal is the floor.
+"""
+
+from repro.analysis.experiments import run_headline, run_performance_sweep
+
+from benchmarks.conftest import BENCH_OPS, BENCH_RATIOS, once
+
+
+def test_fig3_performance_sweep(benchmark, report):
+    out = once(
+        benchmark,
+        run_performance_sweep,
+        workloads="all",
+        ratios=BENCH_RATIOS,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    series = out.data["series"]
+    idx_one = BENCH_RATIOS.index(1.0)
+    idx_eighth = BENCH_RATIOS.index(0.125)
+    # The paper's ordering at 1/8 provisioning.  (Cuckoo only separates from
+    # sparse in conflict-limited regimes — at 1/8 both are capacity-bound
+    # and essentially tie, so it is checked at R=1 and bounded at R=1/8.)
+    assert series["ideal"][idx_eighth] <= series["stash"][idx_eighth] + 0.02
+    assert series["stash"][idx_eighth] < series["cuckoo"][idx_eighth]
+    assert series["cuckoo"][idx_one] <= series["sparse"][idx_one]
+    assert series["cuckoo"][idx_eighth] <= 1.02 * series["sparse"][idx_eighth]
+    # Headline: stash@1/8 within a few percent of sparse@1x (geomean).
+    assert series["stash"][idx_eighth] < 1.05
+
+
+def test_fig3_headline_table(report, benchmark):
+    out = once(benchmark, run_headline, workloads="all", ops_per_core=BENCH_OPS)
+    report(out)
+    geomean_row = out.data["rows"][-1]
+    assert geomean_row[3] < 1.05          # stash@1/8 ~ sparse@1x
+    assert geomean_row[2] > geomean_row[3]  # sparse@1/8 is worse

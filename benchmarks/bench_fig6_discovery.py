@@ -1,0 +1,23 @@
+"""F6 — discovery broadcast rate and false-discovery fraction.
+
+The stash bit confines broadcasts to lines that may actually be hidden;
+this regenerates how often discovery fires and how often it finds nobody
+(stale stash bit after a silent clean eviction).
+"""
+
+from repro.analysis.experiments import run_discovery_stats
+
+from benchmarks.conftest import BENCH_OPS, BENCH_RATIOS, once
+
+
+def test_fig6_discovery_stats(benchmark, report):
+    out = once(
+        benchmark,
+        run_discovery_stats,
+        workloads="all",
+        ratios=BENCH_RATIOS,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    false_rates = [false for _, false in out.data.values()]
+    assert all(0.0 <= rate <= 1.0 for rate in false_rates)

@@ -1,0 +1,27 @@
+"""F8 — sensitivity to directory associativity at R=1/8.
+
+The conventional sparse design leans on associativity to dodge conflicts;
+stashing makes the directory far less sensitive to it.
+"""
+
+from repro.analysis.experiments import run_assoc_sensitivity
+
+from benchmarks.conftest import BENCH_OPS, once
+
+
+def test_fig8_associativity(benchmark, report):
+    out = once(
+        benchmark,
+        run_assoc_sensitivity,
+        workloads=None,
+        ways_list=(2, 4, 8, 16),
+        ratio=0.125,
+        ops_per_core=BENCH_OPS,
+    )
+    report(out)
+    series = out.data["series"]
+    # Stash beats sparse at every associativity point.
+    assert all(s <= c for s, c in zip(series["stash"], series["sparse"]))
+    # Stash's spread across associativities is small (insensitive).
+    spread = max(series["stash"]) - min(series["stash"])
+    assert spread < 0.15

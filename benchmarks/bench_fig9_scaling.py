@@ -1,0 +1,27 @@
+"""F9 — core-count scaling at R=1/8 ('many-core' scalability).
+
+The stash advantage must hold (or grow) as cores scale from 16 to 64 —
+the regime the paper targets.  Per-core trace length is reduced to keep the
+64-core pure-Python run reasonable.
+"""
+
+from repro.analysis.experiments import run_core_scaling
+
+from benchmarks.conftest import once
+
+SCALING_OPS = 800
+
+
+def test_fig9_core_scaling(benchmark, report):
+    out = once(
+        benchmark,
+        run_core_scaling,
+        workloads=None,
+        core_counts=(16, 32, 64),
+        ratio=0.125,
+        ops_per_core=SCALING_OPS,
+    )
+    report(out)
+    series = out.data["series"]
+    for stash_point, sparse_point in zip(series["stash"], series["sparse"]):
+        assert stash_point < sparse_point

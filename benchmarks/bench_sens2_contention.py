@@ -1,0 +1,80 @@
+"""S2 — sensitivity: does the headline survive home-bank contention?
+
+With home-bank serialization enabled, every request pays queueing at its
+home controller.  The under-provisioned conventional design issues *more*
+home traffic (invalidation rounds + refetches), so contention should widen
+the gap, not close it.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.experiments import (
+    ExperimentOutput,
+    geomean,
+    make_config,
+    simulate,
+)
+from repro.analysis.tables import render_table
+from repro.common.config import DirectoryKind, TimingConfig
+
+from benchmarks.conftest import BENCH_OPS, once
+
+WORKLOADS = ["blackscholes-like", "canneal-like", "mix"]
+OCCUPANCY = 8  # cycles a request occupies its home bank
+
+
+def _contended(config):
+    return replace(config, timing=TimingConfig(home_occupancy=OCCUPANCY))
+
+
+def run_s2():
+    rows = []
+    for workload in WORKLOADS:
+        baseline = simulate(
+            workload, _contended(make_config(DirectoryKind.SPARSE, 1.0)),
+            ops_per_core=BENCH_OPS,
+        )
+        sparse = simulate(
+            workload, _contended(make_config(DirectoryKind.SPARSE, 0.125)),
+            ops_per_core=BENCH_OPS,
+        )
+        stash = simulate(
+            workload, _contended(make_config(DirectoryKind.STASH, 0.125)),
+            ops_per_core=BENCH_OPS,
+        )
+        rows.append(
+            [
+                workload,
+                sparse.normalized_time(baseline),
+                stash.normalized_time(baseline),
+                sparse.stats.get("system.protocol.home_bank_wait_cycles", 0.0),
+                stash.stats.get("system.protocol.home_bank_wait_cycles", 0.0),
+            ]
+        )
+    rows.append(
+        [
+            "geomean",
+            geomean([r[1] for r in rows]),
+            geomean([r[2] for r in rows]),
+            float("nan"),
+            float("nan"),
+        ]
+    )
+    text = render_table(
+        ["workload", "sparse@1/8x", "stash@1/8x",
+         "wait cyc (sparse)", "wait cyc (stash)"],
+        rows,
+        title=f"S2: headline with home-bank contention (occupancy {OCCUPANCY} cyc)",
+    )
+    return ExperimentOutput("S2", "Contention sensitivity", text, {"rows": rows})
+
+
+def test_sens2_home_contention(benchmark, report):
+    out = once(benchmark, run_s2)
+    report(out)
+    geomean_row = out.data["rows"][-1]
+    assert geomean_row[2] < 1.10
+    assert geomean_row[1] > geomean_row[2]
+    # The under-provisioned conventional design queues more at the home.
+    per_workload = out.data["rows"][:-1]
+    assert sum(r[3] for r in per_workload) > sum(r[4] for r in per_workload)

@@ -1,0 +1,64 @@
+"""S4 — sensitivity: MESI vs MOESI under the stash directory.
+
+MOESI's Owned state removes the LLC writeback on dirty read-sharing (the
+owner services readers).  The stash headline must hold under both
+protocols, and MOESI should reduce writeback traffic on sharing-heavy
+workloads.
+"""
+
+from repro.analysis.experiments import (
+    ExperimentOutput,
+    geomean,
+    make_config,
+    simulate,
+)
+from repro.analysis.tables import render_table
+from repro.common.config import DirectoryKind
+
+from benchmarks.conftest import BENCH_OPS, once
+
+WORKLOADS = ["fluidanimate-like", "barnes-like", "mix"]
+
+
+def run_s4():
+    rows = []
+    for workload in WORKLOADS:
+        row = [workload]
+        for moesi in (False, True):
+            baseline = simulate(
+                workload, make_config(DirectoryKind.SPARSE, 1.0, moesi=moesi),
+                ops_per_core=BENCH_OPS,
+            )
+            stash = simulate(
+                workload, make_config(DirectoryKind.STASH, 0.125, moesi=moesi),
+                ops_per_core=BENCH_OPS,
+            )
+            row.extend(
+                [
+                    stash.normalized_time(baseline),
+                    stash.traffic_of("writeback"),
+                ]
+            )
+        rows.append(row)
+    rows.append(
+        ["geomean", geomean([r[1] for r in rows]), float("nan"),
+         geomean([r[3] for r in rows]), float("nan")]
+    )
+    text = render_table(
+        ["workload", "stash@1/8 (MESI)", "wb flit-hops",
+         "stash@1/8 (MOESI)", "wb flit-hops "],
+        rows,
+        title="S4: MESI vs MOESI under the stash directory",
+    )
+    return ExperimentOutput("S4", "MOESI sensitivity", text, {"rows": rows})
+
+
+def test_sens4_moesi(benchmark, report):
+    out = once(benchmark, run_s4)
+    report(out)
+    geomean_row = out.data["rows"][-1]
+    # Headline holds under both protocols.
+    assert geomean_row[1] < 1.10 and geomean_row[3] < 1.10
+    # MOESI cuts writeback traffic on dirty-sharing workloads.
+    per_workload = out.data["rows"][:-1]
+    assert sum(r[4] for r in per_workload) < sum(r[2] for r in per_workload)

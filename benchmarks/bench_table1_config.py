@@ -1,0 +1,11 @@
+"""T1 — the simulated system configuration table."""
+
+from repro.analysis.experiments import run_config_table
+
+from benchmarks.conftest import once
+
+
+def test_table1_system_configuration(benchmark, report):
+    out = once(benchmark, run_config_table, num_cores=16)
+    report(out)
+    assert out.data["config"]["cores"] == "16"

@@ -1,0 +1,17 @@
+"""T2 — directory storage per organization and provisioning ratio.
+
+Reproduces the abstract's storage claim: a stash directory at R=1/8 (entry
+array plus one stash bit per LLC line) occupies a small fraction of the
+fully provisioned conventional sparse directory it performance-matches.
+"""
+
+from repro.analysis.experiments import run_storage_table
+
+from benchmarks.conftest import once
+
+
+def test_table2_directory_storage(benchmark, report):
+    out = once(benchmark, run_storage_table, num_cores=16)
+    report(out)
+    # Shape check: stash@1/8 total storage well under sparse@1x.
+    assert out.data["stash@0.125"] < 0.3 * out.data["sparse@1.0"]

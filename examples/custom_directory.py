@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Extend the library: plug a custom directory organization into the system.
+
+Demonstrates the extension seam a downstream researcher uses: subclass
+:class:`~repro.directory.sparse.SparseDirectory` (or implement
+:class:`~repro.directory.base.Directory` from scratch), wire it into a
+:class:`~repro.coherence.protocol.CoherentSystem`, and compare it against
+the built-in organizations under the same trace.
+
+The example implements **random-stash**: like the paper's stash directory,
+it stashes private victims, but picks the victim uniformly at random among
+eligible entries instead of LRU — a five-line design-space probe that shows
+how much of the stash win depends on victim recency.
+"""
+
+from typing import Tuple
+
+from repro import DirectoryKind, Trace, build_workload, make_config
+from repro.analysis.tables import render_table
+from repro.cache.l1 import L1Cache
+from repro.cache.llc import SharedLLC
+from repro.coherence.protocol import CoherentSystem
+from repro.common.config import DirectoryKind as Kind
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+from repro.core.stash_policy import is_stash_eligible
+from repro.directory.base import EvictionAction
+from repro.directory.sparse import SparseDirectory
+from repro.mem.main_memory import MainMemory
+from repro.noc.network import Network
+from repro.sim.simulator import Simulator, run_trace
+
+
+class RandomStashDirectory(SparseDirectory):
+    """Stash directory variant: random victim among stash-eligible entries."""
+
+    def __init__(self, config, num_cores, entries, rng, stats):
+        super().__init__(config, num_cores, entries, rng, stats)
+        self._victim_rng = rng.spawn(999)
+        self.eligibility = config.stash_eligibility  # marks us stash-capable
+
+    def choose_victim(self, dirset) -> Tuple[int, EvictionAction]:
+        eligible = [
+            way
+            for way, entry in enumerate(dirset.entries)
+            if entry is not None and is_stash_eligible(entry, self.eligibility)
+        ]
+        if eligible:
+            return self._victim_rng.choice(eligible), EvictionAction.STASH
+        return dirset.policy.victim(), EvictionAction.INVALIDATE
+
+
+def build_custom_system(config) -> CoherentSystem:
+    """build_system, but with the custom directory dropped in."""
+    stats = StatGroup("system")
+    rng = DeterministicRng(config.seed)
+    l1s = [
+        L1Cache(core, config.l1, rng.spawn(1000 + core), stats.child(f"l1.{core}"))
+        for core in range(config.num_cores)
+    ]
+    llc = SharedLLC(config.llc, config.num_cores, rng.spawn(2000), stats.child("llc"))
+    directory = RandomStashDirectory(
+        config.directory, config.num_cores, config.directory_entries,
+        rng.spawn(3000), stats.child("directory"),
+    )
+    network = Network(config.noc, stats.child("noc"))
+    memory = MainMemory(config.timing, stats.child("memory"))
+    return CoherentSystem(config, l1s, llc, directory, network, memory, stats)
+
+
+def main() -> None:
+    import sys
+
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mix"
+    ops = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    trace: Trace = build_workload(workload, 16, ops, seed=1)
+
+    # The custom system is configured "as stash" so the protocol engages
+    # the stash-bit / discovery machinery.
+    config = make_config(Kind.STASH, ratio=0.125)
+
+    baseline = run_trace(make_config(DirectoryKind.SPARSE, ratio=1.0), trace)
+    lru_stash = run_trace(config, trace)
+    random_stash = Simulator(build_custom_system(config)).run(trace)
+
+    rows = []
+    for name, result in [
+        ("sparse @ 1x", baseline),
+        ("stash (LRU victim) @ 1/8x", lru_stash),
+        ("random-stash @ 1/8x", random_stash),
+    ]:
+        rows.append(
+            [
+                name,
+                result.normalized_time(baseline),
+                result.stash_evictions,
+                result.discovery_per_kilo,
+                result.false_discovery_rate,
+            ]
+        )
+    print(
+        render_table(
+            ["configuration", "norm. time", "stashes", "discoveries/1k", "false rate"],
+            rows,
+            title=f"Custom directory organization on '{workload}'",
+        )
+    )
+    print()
+    print(
+        "Random victim selection stashes blocks that are still hot, so more\n"
+        "discoveries fire; LRU stashing (the paper's choice) prefers entries\n"
+        "whose blocks are least likely to be touched again soon."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Directory provisioning sweep — a scriptable version of figure F3.
+
+Sweeps the coverage ratio R for every directory organization over one
+workload, printing normalized execution time, directory-induced
+invalidations and network traffic.  This is the exploration loop a
+downstream user runs when sizing a directory for their own workload.
+
+Usage::
+
+    python examples/directory_scaling.py [workload] [ops_per_core]
+"""
+
+import sys
+
+from repro import DirectoryKind, make_config, simulate
+from repro.analysis.figures import render_grouped_bars, render_series
+
+RATIOS = [2.0, 1.0, 0.5, 0.25, 0.125, 0.0625]
+KINDS = [DirectoryKind.SPARSE, DirectoryKind.CUCKOO, DirectoryKind.STASH]
+
+
+def label(ratio: float) -> str:
+    return f"{ratio:g}x" if ratio >= 1 else f"1/{round(1 / ratio)}x"
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "canneal-like"
+    ops = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+
+    baseline = simulate(workload, make_config(DirectoryKind.SPARSE, 1.0), ops_per_core=ops)
+
+    time_series = {}
+    inval_series = {}
+    traffic_series = {}
+    for kind in KINDS:
+        times, invals, traffic = [], [], []
+        for ratio in RATIOS:
+            result = simulate(workload, make_config(kind, ratio), ops_per_core=ops)
+            times.append(result.normalized_time(baseline))
+            invals.append(result.dir_induced_invals_per_kilo)
+            traffic.append(result.normalized_traffic(baseline))
+        time_series[kind.value] = times
+        inval_series[kind.value] = invals
+        traffic_series[kind.value] = traffic
+
+    x = [label(r) for r in RATIOS]
+    print(render_series(f"{workload}: normalized execution time vs R", "R", x, time_series))
+    print()
+    print(render_series(f"{workload}: invalidations / 1k accesses vs R", "R", x, inval_series))
+    print()
+    print(render_series(f"{workload}: normalized NoC traffic vs R", "R", x, traffic_series))
+    print()
+    print(render_grouped_bars(f"{workload}: normalized time (bars)", x, time_series))
+
+
+if __name__ == "__main__":
+    main()

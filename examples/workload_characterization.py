@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Characterize the workload suite — why stashing works.
+
+Prints each workload's sharing profile (the F1 motivation data) and then
+runs each on a stash directory at R=1/8 to show how the private-block
+fraction predicts the stash rate and the discovery overhead.
+
+Usage::
+
+    python examples/workload_characterization.py [ops_per_core]
+"""
+
+import sys
+
+from repro import DirectoryKind, build_workload, make_config, simulate, workload_names
+from repro.analysis.tables import render_table
+from repro.workloads.characterize import histogram_buckets, profile_trace
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+
+    profile_rows = []
+    behaviour_rows = []
+    for name in workload_names():
+        trace = build_workload(name, 16, ops, seed=1)
+        profile = profile_trace(trace, 64, name=name)
+        buckets = histogram_buckets(profile, 16)
+        profile_rows.append(
+            [name, profile.unique_blocks, profile.private_block_fraction,
+             profile.write_fraction] + buckets
+        )
+
+        result = simulate(name, make_config(DirectoryKind.STASH, 0.125), ops_per_core=ops)
+        behaviour_rows.append(
+            [
+                name,
+                result.stash_evictions,
+                result.dir_induced_invals_per_kilo,
+                result.discovery_per_kilo,
+                result.false_discovery_rate,
+            ]
+        )
+
+    print(
+        render_table(
+            ["workload", "blocks", "private", "writes",
+             "deg1", "deg2", "deg3-4", "deg5-8", "deg>8"],
+            profile_rows,
+            title="Sharing profile (fractions of unique blocks)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["workload", "stash evictions", "invals/1k", "discoveries/1k", "false rate"],
+            behaviour_rows,
+            title="Stash directory behaviour at R=1/8",
+        )
+    )
+    print()
+    print(
+        "Reading: high private fractions mean almost every directory conflict\n"
+        "finds a stashable victim, so invalidations stay near zero; discovery\n"
+        "traffic tracks how often other cores touch previously stashed blocks."
+    )
+
+
+if __name__ == "__main__":
+    main()

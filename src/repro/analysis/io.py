@@ -1,0 +1,145 @@
+"""Result serialization: save, load and diff simulation results.
+
+Long sweeps are expensive in pure Python, so results are first-class
+artifacts: ``save_result`` writes one run (config + cycles + the flattened
+statistics tree) as JSON, ``load_result`` reconstructs the
+:class:`~repro.sim.results.SimulationResult` — including the full typed
+:class:`~repro.common.config.SystemConfig` — and ``compare_results``
+renders a side-by-side metric table for any number of runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Union
+
+from ..common.config import (
+    CacheConfig,
+    DirectoryConfig,
+    DirectoryKind,
+    DramConfig,
+    EnergyConfig,
+    MemoryModel,
+    NoCConfig,
+    SharerFormat,
+    StashEligibility,
+    SystemConfig,
+    TimingConfig,
+)
+from ..common.errors import TraceError
+from ..common.mesi import CoherenceProtocol
+from ..sim.results import SimulationResult
+from .tables import render_table
+
+#: Format marker written into every result file.
+FORMAT_VERSION = 1
+
+
+def _encode(value):
+    if isinstance(value, Enum):
+        return value.value
+    if dataclasses.is_dataclass(value):
+        return {k: _encode(v) for k, v in dataclasses.asdict(value).items()}
+    return value
+
+
+def config_to_dict(config: SystemConfig) -> Dict:
+    """Serialize a SystemConfig to plain JSON-able types."""
+    raw = dataclasses.asdict(config)
+    return json.loads(json.dumps(raw, default=lambda v: v.value if isinstance(v, Enum) else v))
+
+
+def config_from_dict(data: Dict) -> SystemConfig:
+    """Reconstruct a typed SystemConfig from :func:`config_to_dict` output."""
+    directory = dict(data["directory"])
+    directory["kind"] = DirectoryKind(directory["kind"])
+    directory["sharer_format"] = SharerFormat(directory["sharer_format"])
+    directory["stash_eligibility"] = StashEligibility(directory["stash_eligibility"])
+    l2 = data.get("l2")
+    return SystemConfig(
+        num_cores=data["num_cores"],
+        l1=CacheConfig(**data["l1"]),
+        l2=CacheConfig(**l2) if l2 is not None else None,
+        llc=CacheConfig(**data["llc"]),
+        directory=DirectoryConfig(**directory),
+        noc=NoCConfig(**data["noc"]),
+        timing=TimingConfig(**data["timing"]),
+        energy=EnergyConfig(**data["energy"]),
+        memory_model=MemoryModel(data["memory_model"]),
+        dram=DramConfig(**data["dram"]),
+        protocol=CoherenceProtocol(data.get("protocol", "mesi")),
+        check_invariants=data["check_invariants"],
+        seed=data["seed"],
+    )
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Serialize one run."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": config_to_dict(result.config),
+        "cycles_per_core": result.cycles_per_core,
+        "stats": result.stats,
+        "effective_tracking_samples": result.effective_tracking_samples,
+    }
+
+
+def result_from_dict(data: Dict) -> SimulationResult:
+    """Reconstruct one run; validates the format marker."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported result format {version!r} (expected {FORMAT_VERSION})"
+        )
+    return SimulationResult(
+        config=config_from_dict(data["config"]),
+        cycles_per_core=list(data["cycles_per_core"]),
+        stats=dict(data["stats"]),
+        effective_tracking_samples=list(data["effective_tracking_samples"]),
+    )
+
+
+def save_result(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Write one run to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(result_to_dict(result), handle, indent=1)
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Read a run written by :func:`save_result`."""
+    with open(path) as handle:
+        return result_from_dict(json.load(handle))
+
+
+def compare_results(results: Dict[str, SimulationResult], title: str = "comparison") -> str:
+    """Side-by-side summary table for named runs.
+
+    The first entry is the normalization baseline for time and traffic.
+    """
+    if not results:
+        raise TraceError("compare_results needs at least one result")
+    names = list(results)
+    baseline = results[names[0]]
+    rows = []
+    for name in names:
+        result = results[name]
+        rows.append(
+            [
+                name,
+                result.config.directory.kind.value,
+                f"{result.config.directory.coverage_ratio:g}",
+                result.normalized_time(baseline),
+                result.normalized_traffic(baseline),
+                result.dir_induced_invals_per_kilo,
+                result.discovery_per_kilo,
+            ]
+        )
+    return render_table(
+        ["run", "directory", "R", "norm. time", "norm. traffic",
+         "invals/1k", "discoveries/1k"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,82 @@
+"""One-shot report generation: every experiment in a single document.
+
+``generate_report`` runs the full experiment registry (at a configurable
+scale) and writes one markdown file with every table and text figure —
+the artifact a release ships alongside EXPERIMENTS.md, and the quickest way
+for a reviewer to regenerate the whole evaluation:
+
+    repro-sim report REPORT.md --quick
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from . import experiments as exp
+
+#: The report's experiment order: (id, runner, takes-workloads?).
+REPORT_SECTIONS: List[Tuple[str, Callable, bool]] = [
+    ("T1", exp.run_config_table, False),
+    ("T2", exp.run_storage_table, False),
+    ("F1", exp.run_characterization, True),
+    ("F2", exp.run_invalidation_sweep, True),
+    ("F3", exp.run_performance_sweep, True),
+    ("headline", exp.run_headline, True),
+    ("F4", exp.run_invalidation_comparison, True),
+    ("F5", exp.run_traffic_sweep, True),
+    ("F6", exp.run_discovery_stats, True),
+    ("F7", exp.run_effective_capacity, True),
+    ("F8", exp.run_assoc_sensitivity, True),
+    ("F9", exp.run_core_scaling, True),
+    ("F10", exp.run_energy_comparison, True),
+    ("F11", exp.run_private_l2_headline, True),
+    ("A1", exp.run_ablation_eligibility, True),
+    ("A2", exp.run_ablation_notification, True),
+    ("A3", exp.run_ablation_sharers, True),
+    ("S3", exp.run_seed_stability, True),
+]
+
+
+def generate_report(
+    path: Union[str, Path],
+    workloads=None,
+    ops_per_core: int = exp.DEFAULT_OPS,
+    sections: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[str]:
+    """Run the registry and write one markdown report.
+
+    ``workloads`` follows :func:`~repro.analysis.experiments.resolve_workloads`
+    (None = quick subset, "all" = the full suite); ``sections`` restricts
+    to specific experiment ids.  Returns the list of section ids written.
+    """
+    wanted = set(sections) if sections is not None else None
+    chunks: List[str] = [
+        "# Stash Directory — regenerated evaluation report",
+        "",
+        f"Scale: {ops_per_core} ops/core; workloads: "
+        f"{', '.join(exp.resolve_workloads(workloads))}.",
+        "Regenerate with `repro-sim report` (see DESIGN.md for the experiment index).",
+        "",
+    ]
+    written: List[str] = []
+    for exp_id, runner, takes_workloads in REPORT_SECTIONS:
+        if wanted is not None and exp_id not in wanted:
+            continue
+        if progress is not None:
+            progress(exp_id)
+        kwargs = {}
+        if takes_workloads:
+            kwargs["workloads"] = workloads
+            kwargs["ops_per_core"] = ops_per_core
+        out = runner(**kwargs)
+        chunks.append(f"## {out.experiment_id}: {out.title}")
+        chunks.append("")
+        chunks.append("```")
+        chunks.append(out.text)
+        chunks.append("```")
+        chunks.append("")
+        written.append(exp_id)
+    Path(path).write_text("\n".join(chunks))
+    return written

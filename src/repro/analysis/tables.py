@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment output.
+
+Every table and "figure" in this reproduction is printed as text — the same
+rows/series the paper plots — so results diff cleanly and run anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 10 ** -precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[Sequence[Cell]], title: Optional[str] = None) -> str:
+    """Render key/value pairs (configuration summaries)."""
+    return render_table(["parameter", "value"], pairs, title=title)

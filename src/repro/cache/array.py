@@ -1,0 +1,166 @@
+"""Generic set-associative tag array.
+
+:class:`CacheArray` implements lookup / allocate / evict mechanics once, for
+every set-associative structure in the system (L1s, the LLC, and the sparse
+and stash directories reuse the same set discipline through their own entry
+tables).  It stores :class:`~repro.cache.block.CacheBlock` records and
+delegates victim choice to a per-set replacement policy.
+
+Allocation is split into two phases so protocol code can interleave side
+effects correctly:
+
+1. :meth:`peek_victim` — report which block *would* be evicted for a fill,
+   without mutating anything.  The caller performs the coherence actions the
+   eviction requires (back-invalidations, writebacks, discovery).
+2. :meth:`allocate` — actually evict that victim and install the new line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..common.config import CacheConfig
+from ..common.errors import ProtocolError
+from ..common.rng import DeterministicRng
+from ..common.stats import StatGroup
+from .block import CacheBlock
+from .replacement import ReplacementPolicy, make_policy
+
+
+class CacheSet:
+    """One set: way-indexed blocks, a tag index, and replacement metadata."""
+
+    __slots__ = ("ways", "blocks", "by_tag", "policy")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.ways = ways
+        self.blocks: List[Optional[CacheBlock]] = [None] * ways
+        self.by_tag: Dict[int, int] = {}
+        self.policy = policy
+
+    def find(self, tag: int) -> Optional[int]:
+        """Way holding ``tag``, or None."""
+        return self.by_tag.get(tag)
+
+    def free_way(self) -> Optional[int]:
+        """An unoccupied way, or None if the set is full."""
+        if len(self.by_tag) == self.ways:
+            return None
+        for way, block in enumerate(self.blocks):
+            if block is None:
+                return way
+        raise ProtocolError("set bookkeeping out of sync")  # pragma: no cover
+
+    def occupancy(self) -> int:
+        """Number of valid lines in the set."""
+        return len(self.by_tag)
+
+
+class CacheArray:
+    """A set-associative array of :class:`CacheBlock` records."""
+
+    def __init__(self, config: CacheConfig, rng: DeterministicRng, stats: StatGroup) -> None:
+        self.config = config
+        self.stats = stats
+        self._sets: List[CacheSet] = [
+            CacheSet(config.ways, make_policy(config.replacement, config.ways, rng.spawn(i)))
+            for i in range(config.sets)
+        ]
+        # Hot-path index/tag extraction (equivalent to set_index/tag_bits).
+        self._index_mask = config.sets - 1
+        self._tag_shift = config.sets.bit_length() - 1
+
+    # -- lookup --------------------------------------------------------------
+
+    def _locate(self, block_addr: int) -> Tuple[CacheSet, int]:
+        return (
+            self._sets[block_addr & self._index_mask],
+            block_addr >> self._tag_shift,
+        )
+
+    def lookup(self, block_addr: int, touch: bool = True) -> Optional[CacheBlock]:
+        """Return the block if present; update replacement state if ``touch``."""
+        cset, tag = self._locate(block_addr)
+        way = cset.find(tag)
+        if way is None:
+            return None
+        if touch:
+            cset.policy.on_access(way)
+        return cset.blocks[way]
+
+    def contains(self, block_addr: int) -> bool:
+        """Presence test with no replacement-state side effect."""
+        cset, tag = self._locate(block_addr)
+        return cset.find(tag) is not None
+
+    # -- allocation ----------------------------------------------------------
+
+    def peek_victim(self, block_addr: int) -> Optional[CacheBlock]:
+        """The block a fill of ``block_addr`` would evict (None if a way is free).
+
+        Does not mutate replacement state; the subsequent :meth:`allocate`
+        will evict exactly this block (policies are only advanced by
+        accesses/fills, which the caller does not interleave).
+        """
+        cset, tag = self._locate(block_addr)
+        if cset.find(tag) is not None:
+            raise ProtocolError(f"block {block_addr:#x} already present; fill is invalid")
+        if cset.free_way() is not None:
+            return None
+        return cset.blocks[cset.policy.victim()]
+
+    def allocate(self, block_addr: int, state: int) -> Tuple[CacheBlock, Optional[CacheBlock]]:
+        """Install ``block_addr`` and return ``(new_block, evicted_block)``.
+
+        The caller must have already handled the coherence consequences of
+        the eviction reported by :meth:`peek_victim`.
+        """
+        cset, tag = self._locate(block_addr)
+        if cset.find(tag) is not None:
+            raise ProtocolError(f"block {block_addr:#x} already present; fill is invalid")
+        way = cset.free_way()
+        evicted: Optional[CacheBlock] = None
+        if way is None:
+            way = cset.policy.victim()
+            evicted = cset.blocks[way]
+            assert evicted is not None
+            del cset.by_tag[evicted.tag]
+            self.stats.add("evictions")
+        block = CacheBlock(block_addr, tag, state)
+        cset.blocks[way] = block
+        cset.by_tag[tag] = way
+        cset.policy.on_fill(way)
+        self.stats.add("fills")
+        return block, evicted
+
+    # -- removal -------------------------------------------------------------
+
+    def remove(self, block_addr: int) -> Optional[CacheBlock]:
+        """Drop the block (invalidation); return it, or None if absent."""
+        cset, tag = self._locate(block_addr)
+        way = cset.find(tag)
+        if way is None:
+            return None
+        block = cset.blocks[way]
+        cset.blocks[way] = None
+        del cset.by_tag[tag]
+        self.stats.add("removals")
+        return block
+
+    # -- inspection ----------------------------------------------------------
+
+    def iter_blocks(self) -> Iterator[CacheBlock]:
+        """Every valid block, set by set (deterministic order)."""
+        for cset in self._sets:
+            for block in cset.blocks:
+                if block is not None:
+                    yield block
+
+    def occupancy(self) -> int:
+        """Total valid lines."""
+        return sum(cset.occupancy() for cset in self._sets)
+
+    def set_occupancy(self, block_addr: int) -> int:
+        """Valid lines in the set that ``block_addr`` maps to."""
+        cset, _ = self._locate(block_addr)
+        return cset.occupancy()

@@ -1,0 +1,51 @@
+"""The cache-line metadata record shared by every array in the system.
+
+One class serves L1s, the LLC and (via composition) directory entries'
+residency bookkeeping, so invariant checkers can treat them uniformly.  The
+fields that only one structure uses are documented as such:
+
+* ``state`` — MESI state in L1s; VALID/INVALID-style use in the LLC.
+* ``dirty`` — LLC: line differs from memory; L1: implied by state M.
+* ``stash`` — **LLC only**: the stash bit of the paper.  Set when the
+  directory stashed (silently dropped) the entry tracking this block; it
+  marks the line as *possibly hidden* in exactly one private cache.
+* ``version`` — monotonically increasing write version used by the
+  data-value invariant checker (a stand-in for the actual data payload).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class CacheBlock:
+    """Mutable per-line metadata. ``__slots__`` keeps millions of them cheap."""
+
+    __slots__ = ("addr", "tag", "state", "dirty", "stash", "version")
+
+    def __init__(self, addr: int, tag: int, state: int, dirty: bool = False) -> None:
+        self.addr = addr      # full block address (not just the tag)
+        self.tag = tag
+        self.state = state
+        self.dirty = dirty
+        self.stash = False
+        self.version = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = []
+        if self.dirty:
+            flags.append("dirty")
+        if self.stash:
+            flags.append("stash")
+        extra = f" [{','.join(flags)}]" if flags else ""
+        return f"CacheBlock(addr={self.addr:#x}, state={self.state}{extra})"
+
+
+def copy_block(block: Optional[CacheBlock]) -> Optional[CacheBlock]:
+    """Snapshot a block's metadata (used when reporting evicted victims)."""
+    if block is None:
+        return None
+    clone = CacheBlock(block.addr, block.tag, block.state, block.dirty)
+    clone.stash = block.stash
+    clone.version = block.version
+    return clone

@@ -1,0 +1,227 @@
+"""Replacement policies for set-associative arrays.
+
+Each policy instance manages the metadata of **one set**: the cache array
+creates one instance per set via :func:`make_policy`.  The interface is
+three hooks — touch on access/fill, and victim selection — over way indices,
+so the same policies drive L1s, the LLC, and the set-associative directory
+organizations.
+
+Policies implemented: true LRU, Tree-PLRU, NRU, SRRIP and Random, matching
+the option space typical directory studies sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..common.errors import ConfigError
+from ..common.rng import DeterministicRng
+
+
+class ReplacementPolicy:
+    """Per-set replacement metadata and victim selection.
+
+    ``ways`` is the associativity of the set this instance manages.  The
+    array guarantees ``victim`` is only called when every way is occupied;
+    unoccupied ways are filled directly.
+    """
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1:
+            raise ConfigError(f"replacement policy needs ways >= 1, got {ways}")
+        self.ways = ways
+
+    def on_access(self, way: int) -> None:
+        """A hit touched ``way``."""
+        raise NotImplementedError
+
+    def on_fill(self, way: int) -> None:
+        """A new line was installed into ``way``."""
+        raise NotImplementedError
+
+    def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
+        """Pick the way to evict.
+
+        ``candidates`` restricts the choice to a subset of ways (used by the
+        stash directory, which prefers stash-eligible entries); ``None``
+        means all ways are candidates.  ``candidates`` is non-empty.
+        """
+        raise NotImplementedError
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used, via a monotonically increasing clock."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._clock = 0
+        self._last_use: List[int] = [0] * ways
+
+    def _tick(self, way: int) -> None:
+        self._clock += 1
+        self._last_use[way] = self._clock
+
+    def on_access(self, way: int) -> None:
+        self._tick(way)
+
+    def on_fill(self, way: int) -> None:
+        self._tick(way)
+
+    def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
+        ways = range(self.ways) if candidates is None else candidates
+        return min(ways, key=lambda w: self._last_use[w])
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU over a power-of-two number of ways.
+
+    Classic binary-tree PLRU: one bit per internal node points away from the
+    most recently used half.  Non-power-of-two associativities fall back to
+    the next power of two with unused leaves masked out.
+    """
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._leaves = 1
+        while self._leaves < ways:
+            self._leaves *= 2
+        self._bits: List[int] = [0] * self._leaves  # index 1.._leaves-1 used
+
+    def _touch(self, way: int) -> None:
+        node = 1
+        span = self._leaves
+        base = 0
+        while span > 1:
+            span //= 2
+            if way < base + span:
+                self._bits[node] = 1  # MRU went left; point right
+                node = node * 2
+            else:
+                self._bits[node] = 0
+                node = node * 2 + 1
+                base += span
+
+    def on_access(self, way: int) -> None:
+        self._touch(way)
+
+    def on_fill(self, way: int) -> None:
+        self._touch(way)
+
+    def _walk(self) -> int:
+        node = 1
+        span = self._leaves
+        base = 0
+        while span > 1:
+            span //= 2
+            if self._bits[node]:
+                node = node * 2 + 1
+                base += span
+            else:
+                node = node * 2
+        return min(base, self.ways - 1)
+
+    def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
+        pick = self._walk()
+        if candidates is None or pick in candidates:
+            return pick
+        # Restricted choice: approximate by the candidate whose leaf path
+        # disagrees least with the PLRU bits — cheap proxy: first candidate.
+        return candidates[0]
+
+
+class NruPolicy(ReplacementPolicy):
+    """Not-recently-used: one reference bit per way, cleared in bulk."""
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._ref: List[bool] = [False] * ways
+
+    def on_access(self, way: int) -> None:
+        self._ref[way] = True
+        if all(self._ref):
+            for i in range(self.ways):
+                self._ref[i] = i == way
+
+    def on_fill(self, way: int) -> None:
+        self.on_access(way)
+
+    def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
+        ways = range(self.ways) if candidates is None else candidates
+        for way in ways:
+            if not self._ref[way]:
+                return way
+        return next(iter(ways))
+
+
+class SrripPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction with 2-bit RRPV."""
+
+    MAX_RRPV = 3
+
+    def __init__(self, ways: int) -> None:
+        super().__init__(ways)
+        self._rrpv: List[int] = [self.MAX_RRPV] * ways
+
+    def on_access(self, way: int) -> None:
+        self._rrpv[way] = 0
+
+    def on_fill(self, way: int) -> None:
+        self._rrpv[way] = self.MAX_RRPV - 1  # "long" re-reference on insert
+
+    def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
+        ways = list(range(self.ways)) if candidates is None else list(candidates)
+        while True:
+            for way in ways:
+                if self._rrpv[way] == self.MAX_RRPV:
+                    return way
+            for way in ways:
+                self._rrpv[way] += 1
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim; access pattern is ignored."""
+
+    def __init__(self, ways: int, rng: DeterministicRng) -> None:
+        super().__init__(ways)
+        self._rng = rng
+
+    def on_access(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
+        ways = list(range(self.ways)) if candidates is None else list(candidates)
+        return self._rng.choice(ways)
+
+
+PolicyFactory = Callable[[int], ReplacementPolicy]
+
+_REGISTRY: Dict[str, Callable[[int, DeterministicRng], ReplacementPolicy]] = {
+    "lru": lambda ways, rng: LruPolicy(ways),
+    "plru": lambda ways, rng: TreePlruPolicy(ways),
+    "nru": lambda ways, rng: NruPolicy(ways),
+    "srrip": lambda ways, rng: SrripPolicy(ways),
+    "random": lambda ways, rng: RandomPolicy(ways, rng),
+}
+
+
+def policy_names() -> List[str]:
+    """Names accepted by :class:`~repro.common.config.CacheConfig.replacement`."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, ways: int, rng: DeterministicRng) -> ReplacementPolicy:
+    """Instantiate the policy ``name`` for a set of ``ways`` ways.
+
+    Raises:
+        ConfigError: for unknown policy names.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown replacement policy {name!r}; known: {policy_names()}"
+        ) from None
+    return factory(ways, rng)

@@ -1,0 +1,366 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-sim`` script.
+
+Subcommands:
+
+* ``run`` — simulate one (workload, directory, ratio) point and print the
+  result summary.
+* ``sweep`` — provisioning sweep over one workload for several
+  organizations (figure F3 as a command).
+* ``characterize`` — print workload sharing profiles (figure F1).
+* ``experiment`` — regenerate any experiment from DESIGN.md's index by id
+  (T1, T2, F1..F10, A1..A3).
+* ``gen-trace`` — write a suite workload to a CSV trace file.
+* ``replay`` — simulate a CSV trace file.
+* ``fuzz`` — protocol fuzzing: random multi-core programs over a tiny,
+  conflict-dense system with the full invariant suite checked after every
+  access.
+* ``compare`` — side-by-side diff of result files saved with ``--save``.
+* ``report`` — regenerate the whole evaluation into one markdown file.
+
+Every command prints plain text (the same tables the benchmark harness
+emits) and returns a non-zero exit code on error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import analysis
+from .analysis.experiments import make_config, simulate
+from .analysis.figures import render_series
+from .analysis.tables import render_kv, render_table
+from .common.config import DirectoryKind, MemoryModel
+from .common.errors import ReproError
+from .sim.simulator import Simulator
+from .sim.system import build_system
+from .sim.trace import Trace
+from .workloads.suite import build_workload, workload_names
+
+#: Experiment-id -> registry runner (kwargs: workloads / ops where relevant).
+EXPERIMENTS: Dict[str, Callable] = {
+    "T1": analysis.run_config_table,
+    "T2": analysis.run_storage_table,
+    "F1": analysis.run_characterization,
+    "F2": analysis.run_invalidation_sweep,
+    "F3": analysis.run_performance_sweep,
+    "F4": analysis.run_invalidation_comparison,
+    "F5": analysis.run_traffic_sweep,
+    "F6": analysis.run_discovery_stats,
+    "F7": analysis.run_effective_capacity,
+    "F8": analysis.run_assoc_sensitivity,
+    "F9": analysis.run_core_scaling,
+    "F10": analysis.run_energy_comparison,
+    "F11": analysis.run_private_l2_headline,
+    "S3": analysis.run_seed_stability,
+    "A1": analysis.run_ablation_eligibility,
+    "A2": analysis.run_ablation_notification,
+    "A3": analysis.run_ablation_sharers,
+    "headline": analysis.run_headline,
+}
+
+
+def _config_from_args(args: argparse.Namespace):
+    return make_config(
+        kind=DirectoryKind(args.kind),
+        ratio=args.ratio,
+        num_cores=args.cores,
+        seed=args.seed,
+        check_invariants=getattr(args, "check_invariants", False),
+        moesi=getattr(args, "moesi", False),
+    )
+
+
+def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="mix", choices=workload_names())
+    parser.add_argument("--cores", type=int, default=16)
+    parser.add_argument("--ops", type=int, default=3000, help="ops per core")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _maybe_save(result, args) -> None:
+    path = getattr(args, "save", None)
+    if path:
+        from .analysis.io import save_result
+
+        save_result(result, path)
+        print(f"saved result to {path}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """One simulation point with a full summary."""
+    config = _config_from_args(args)
+    if args.dram:
+        from dataclasses import replace
+
+        config = replace(config, memory_model=MemoryModel.DRAM)
+    trace = build_workload(args.workload, args.cores, args.ops, seed=args.seed)
+    result = Simulator(build_system(config), warmup_ops=args.warmup).run(trace)
+    print(render_kv(config.describe().items(), title="configuration"))
+    print()
+    rows = [[key, value] for key, value in result.summary().items()]
+    print(render_table(["metric", "value"], rows, title=f"results: {args.workload}"))
+    _maybe_save(result, args)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Provisioning sweep for several organizations on one workload."""
+    kinds = [DirectoryKind(k) for k in args.kinds]
+    ratios = args.ratios
+    baseline = simulate(
+        args.workload,
+        make_config(DirectoryKind.SPARSE, 1.0, num_cores=args.cores, seed=args.seed),
+        ops_per_core=args.ops,
+        seed=args.seed,
+    )
+    series: Dict[str, List[float]] = {}
+    for kind in kinds:
+        values = []
+        for ratio in ratios:
+            result = simulate(
+                args.workload,
+                make_config(kind, ratio, num_cores=args.cores, seed=args.seed),
+                ops_per_core=args.ops,
+                seed=args.seed,
+            )
+            values.append(result.normalized_time(baseline))
+        series[kind.value] = values
+    x = [f"{r:g}" for r in ratios]
+    print(
+        render_series(
+            f"{args.workload}: normalized execution time vs R (baseline sparse@1)",
+            "R", x, series,
+        )
+    )
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """Workload sharing profiles (figure F1)."""
+    out = analysis.run_characterization(
+        args.workloads or "all", ops_per_core=args.ops, num_cores=args.cores
+    )
+    print(out.text)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Regenerate one experiment from the DESIGN.md index."""
+    runner = EXPERIMENTS[args.id]
+    kwargs = {}
+    if args.ops is not None and "ops_per_core" in runner.__code__.co_varnames:
+        kwargs["ops_per_core"] = args.ops
+    if args.workloads and "workloads" in runner.__code__.co_varnames:
+        kwargs["workloads"] = args.workloads
+    out = runner(**kwargs)
+    print(out.text)
+    return 0
+
+
+def cmd_gen_trace(args: argparse.Namespace) -> int:
+    """Generate a suite workload into a CSV trace file."""
+    trace = build_workload(args.workload, args.cores, args.ops, seed=args.seed)
+    trace.to_file(args.output)
+    print(f"wrote {trace.total_ops()} ops ({args.cores} cores) to {args.output}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Simulate a CSV trace file."""
+    trace = Trace.from_file(args.trace, num_cores=args.cores)
+    config = _config_from_args(args)
+    result = Simulator(build_system(config), warmup_ops=args.warmup).run(trace)
+    rows = [[key, value] for key, value in result.summary().items()]
+    print(render_table(["metric", "value"], rows, title=f"replay: {args.trace}"))
+    _maybe_save(result, args)
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Protocol fuzzing: random programs + invariants after every access.
+
+    Exercises every directory organization over a tiny conflict-dense
+    system; any invariant violation aborts with the failing seed so the
+    case can be replayed exactly.
+    """
+    from .common.config import (
+        CacheConfig,
+        DirectoryConfig,
+        NoCConfig,
+        SystemConfig,
+    )
+    from .common.rng import DeterministicRng
+
+    kinds = [DirectoryKind(k) for k in args.kinds]
+    programs = 0
+    for round_id in range(args.rounds):
+        seed = args.seed + round_id
+        rng = DeterministicRng(seed)
+        for kind in kinds:
+            config = SystemConfig(
+                num_cores=4,
+                l1=CacheConfig(sets=2, ways=2),
+                llc=CacheConfig(sets=8, ways=2),
+                directory=DirectoryConfig(
+                    kind=kind, ways=2, entries_override=4,
+                    clean_eviction_notification=rng.random() < 0.3,
+                    discovery_filter_slots=rng.choice([0, 8]),
+                ),
+                noc=NoCConfig(mesh_width=2, mesh_height=2),
+                check_invariants=True,
+                seed=seed,
+            )
+            system = build_system(config)
+            try:
+                for _ in range(args.length):
+                    core = rng.randint(0, 3)
+                    addr = rng.randint(0, args.blocks - 1)
+                    system.access(core, addr, rng.random() < 0.4)
+                    system.check_invariants()
+            except ReproError as exc:
+                print(
+                    f"FUZZ FAILURE: kind={kind.value} seed={seed}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            programs += 1
+    print(
+        f"fuzzed {programs} programs x {args.length} accesses "
+        f"({len(kinds)} organizations, seeds {args.seed}..{args.seed + args.rounds - 1}): "
+        "all invariants held"
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Side-by-side comparison of saved result files (first is baseline)."""
+    from pathlib import Path
+
+    from .analysis.io import compare_results, load_result
+
+    results = {Path(path).stem: load_result(path) for path in args.results}
+    print(compare_results(results, title="saved-run comparison"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every experiment into a single markdown report."""
+    from .analysis.report import generate_report
+
+    workloads = "all" if args.full else None
+    written = generate_report(
+        args.output,
+        workloads=workloads,
+        ops_per_core=args.ops,
+        sections=args.sections,
+        progress=lambda exp_id: print(f"running {exp_id} ..."),
+    )
+    print(f"wrote {len(written)} sections to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Stash Directory (HPCA 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help=cmd_run.__doc__)
+    _add_common_run_args(run)
+    run.add_argument("--kind", default="stash", choices=[k.value for k in DirectoryKind])
+    run.add_argument("--ratio", type=float, default=0.125)
+    run.add_argument("--warmup", type=int, default=0)
+    run.add_argument("--dram", action="store_true", help="use the banked DRAM model")
+    run.add_argument("--moesi", action="store_true", help="run MOESI instead of MESI")
+    run.add_argument("--check-invariants", action="store_true")
+    run.add_argument("--save", metavar="PATH", help="write the result as JSON")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help=cmd_sweep.__doc__)
+    _add_common_run_args(sweep)
+    sweep.add_argument(
+        "--kinds", nargs="+", default=["sparse", "cuckoo", "stash"],
+        choices=[k.value for k in DirectoryKind],
+    )
+    sweep.add_argument(
+        "--ratios", nargs="+", type=float, default=[1.0, 0.5, 0.25, 0.125]
+    )
+    sweep.set_defaults(func=cmd_sweep)
+
+    character = sub.add_parser("characterize", help=cmd_characterize.__doc__)
+    character.add_argument("--workloads", nargs="*", choices=workload_names())
+    character.add_argument("--cores", type=int, default=16)
+    character.add_argument("--ops", type=int, default=2000)
+    character.set_defaults(func=cmd_characterize)
+
+    experiment = sub.add_parser("experiment", help=cmd_experiment.__doc__)
+    experiment.add_argument("id", choices=sorted(EXPERIMENTS))
+    experiment.add_argument("--ops", type=int, default=None)
+    experiment.add_argument("--workloads", nargs="*", default=None)
+    experiment.set_defaults(func=cmd_experiment)
+
+    gen = sub.add_parser("gen-trace", help=cmd_gen_trace.__doc__)
+    _add_common_run_args(gen)
+    gen.add_argument("output")
+    gen.set_defaults(func=cmd_gen_trace)
+
+    replay = sub.add_parser("replay", help=cmd_replay.__doc__)
+    replay.add_argument("trace")
+    replay.add_argument("--cores", type=int, default=16)
+    replay.add_argument("--kind", default="stash", choices=[k.value for k in DirectoryKind])
+    replay.add_argument("--ratio", type=float, default=0.125)
+    replay.add_argument("--seed", type=int, default=1)
+    replay.add_argument("--warmup", type=int, default=0)
+    replay.add_argument("--check-invariants", action="store_true")
+    replay.add_argument("--save", metavar="PATH", help="write the result as JSON")
+    replay.set_defaults(func=cmd_replay)
+
+    fuzz = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)
+    fuzz.add_argument("--rounds", type=int, default=20)
+    fuzz.add_argument("--length", type=int, default=300, help="accesses per program")
+    fuzz.add_argument("--blocks", type=int, default=12, help="address-space size")
+    fuzz.add_argument("--seed", type=int, default=1)
+    fuzz.add_argument(
+        "--kinds", nargs="+",
+        default=["sparse", "cuckoo", "scd", "stash", "adaptive_stash"],
+        choices=[k.value for k in DirectoryKind],
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    compare = sub.add_parser("compare", help=cmd_compare.__doc__)
+    compare.add_argument("results", nargs="+", help="JSON files from --save")
+    compare.set_defaults(func=cmd_compare)
+
+    report = sub.add_parser("report", help=cmd_report.__doc__)
+    report.add_argument("output", help="markdown file to write")
+    report.add_argument("--ops", type=int, default=2000, help="ops per core")
+    report.add_argument(
+        "--full", action="store_true",
+        help="use the full workload suite (default: quick 3-workload subset)",
+    )
+    report.add_argument(
+        "--sections", nargs="*", default=None,
+        help="restrict to specific experiment ids (e.g. F3 headline)",
+    )
+    report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

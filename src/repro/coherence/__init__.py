@@ -1,0 +1,30 @@
+"""MESI directory coherence protocol engine."""
+
+from .invariants import (
+    check_data_values,
+    check_directory_inclusion,
+    check_entries_llc_resident,
+    check_llc_inclusion,
+    check_swmr,
+)
+from .l1_controller import L1Controller
+from .llc_controller import GrantResult, HomeController
+from .protocol import CoherentSystem
+from .states import LlcState, MesiState, can_read, can_write, is_exclusive_class
+
+__all__ = [
+    "CoherentSystem",
+    "GrantResult",
+    "HomeController",
+    "L1Controller",
+    "LlcState",
+    "MesiState",
+    "can_read",
+    "can_write",
+    "check_data_values",
+    "check_directory_inclusion",
+    "check_entries_llc_resident",
+    "check_llc_inclusion",
+    "check_swmr",
+    "is_exclusive_class",
+]

@@ -1,0 +1,121 @@
+"""Core-side protocol controller: hits, upgrades, misses and victim putback.
+
+One controller per core.  It owns the decision tree at the L1 (hit state vs.
+required permission), charges local latencies, and escalates to the
+:class:`~repro.coherence.llc_controller.HomeController` for anything that
+needs the directory.  Coverage-miss attribution — "this miss exists because
+a directory eviction invalidated my copy" — happens here, at the moment the
+miss is detected.
+"""
+
+from __future__ import annotations
+
+from ..cache.l1 import L1Cache
+from ..common.config import TimingConfig
+from ..common.errors import ProtocolError
+from ..common.stats import StatGroup
+from ..noc.network import Network
+from ..noc.traffic import MessageClass
+from .llc_controller import HomeController
+from .states import MesiState, can_write
+
+
+class L1Controller:
+    """Drives one core's private cache through the MESI protocol."""
+
+    def __init__(
+        self,
+        core_id: int,
+        l1: L1Cache,
+        home: HomeController,
+        network: Network,
+        timing: TimingConfig,
+        stats: StatGroup,
+    ) -> None:
+        self.core_id = core_id
+        self.l1 = l1
+        self.home = home
+        self.network = network
+        self.timing = timing
+        self.stats = stats
+        # Private L2 present? (PrivateHierarchy exposes l2_config.)
+        self.has_l2 = hasattr(l1, "l2_config")
+
+    def _hit_latency(self, level: str) -> int:
+        if level == "l2":
+            return self.timing.l1_hit + self.timing.l2_hit
+        return self.timing.l1_hit
+
+    def _miss_detect_latency(self) -> int:
+        # A miss checked both private levels when an L2 exists.
+        if self.has_l2:
+            return self.timing.l1_hit + self.timing.l2_hit
+        return self.timing.l1_hit
+
+    def access(self, addr: int, is_write: bool) -> int:
+        """Perform one memory operation; returns its latency in cycles."""
+        self.stats.add("accesses")
+        self.stats.add("writes" if is_write else "reads")
+        block, level = self.l1.access_block(addr)
+        if block is not None:
+            state = MesiState(block.state)
+            hit_counter = "l1_hits" if level == "l1" else "l2_hits"
+            if not is_write:
+                self.stats.add(hit_counter)
+                return self._hit_latency(level)
+            if can_write(state):
+                # M hit, or silent E -> M upgrade: no protocol message.
+                self.stats.add(hit_counter)
+                self.l1.upgrade_to_modified(addr)
+                block.version = self.home.mint_version(addr)
+                return self._hit_latency(level)
+            if state not in (MesiState.SHARED, MesiState.OWNED):  # pragma: no cover
+                raise ProtocolError(f"write hit in unexpected state {state}")
+            # S (and MOESI's O) write hits need an upgrade: other copies
+            # must be invalidated before write permission is granted.
+            return self._upgrade(addr, block, self._hit_latency(level))
+        return self._miss(addr, is_write)
+
+    # -- upgrade (write hit on an S copy) ---------------------------------------
+
+    def _upgrade(self, addr: int, block, local_latency: int) -> int:
+        self.stats.add("upgrade_misses")
+        home_tile = self.home.home_tile(addr)
+        latency = local_latency
+        latency += self.network.send(self.core_id, home_tile, MessageClass.REQUEST)
+        latency += self.home.handle_upgrade(self.core_id, addr)
+        self.l1.upgrade_to_modified(addr)
+        block.version = self.home.mint_version(addr)
+        return latency
+
+    # -- miss -------------------------------------------------------------------
+
+    def _miss(self, addr: int, is_write: bool) -> int:
+        self.stats.add("l1_misses")
+        if addr in self.home.dir_invalidated[self.core_id]:
+            # This copy was lost to a directory eviction: a coverage miss.
+            self.home.dir_invalidated[self.core_id].discard(addr)
+            self.stats.add("coverage_misses")
+
+        # Make room first, so the home never races our victim.
+        victim = self.l1.peek_fill_victim(addr)
+        if victim is not None:
+            removed = self.l1.invalidate(victim.addr)
+            assert removed is not None
+            self.home.handle_put(
+                self.core_id, removed.addr, bool(removed.dirty), removed.version
+            )
+
+        home_tile = self.home.home_tile(addr)
+        latency = self._miss_detect_latency()
+        latency += self.network.send(self.core_id, home_tile, MessageClass.REQUEST)
+        grant = self.home.handle_miss(self.core_id, addr, is_write)
+        latency += grant.latency
+
+        filled = self.l1.fill(addr, grant.state, grant.version)
+        self.home.filter_add(self.core_id, addr)
+        if is_write:
+            if grant.state is not MesiState.MODIFIED:  # pragma: no cover
+                raise ProtocolError(f"write miss granted {grant.state}")
+            filled.version = self.home.mint_version(addr)
+        return latency

@@ -1,0 +1,586 @@
+"""Home-side protocol controller: directory + LLC + discovery flows.
+
+Every L1 miss and upgrade arrives here (conceptually at the home bank of the
+block).  The controller:
+
+* resolves the request against the directory and the inclusive LLC,
+* performs forwards, invalidations, discovery broadcasts and memory fetches,
+* executes directory-entry evictions (invalidate vs. **stash**) and LLC
+  evictions (back-invalidation, discovery-invalidate for stash-bit lines),
+* returns the latency the *requesting core* observes, charging only
+  critical-path legs (writebacks and acks that real protocols overlap are
+  accounted as traffic but not charged to the requester).
+
+The controller manipulates remote L1 state directly (invalidate/downgrade):
+in the atomic-transaction model those are the remote cache's responses to
+home-initiated messages, so no separate remote-side controller is needed.
+
+Data values are modeled as monotonically increasing per-block *versions*
+(see DESIGN.md): every write mints a new version, and the data-value
+invariant — a reader observes the latest committed version — is checked
+end-to-end by the invariant suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..cache.l1 import L1Cache
+from ..cache.llc import SharedLLC
+from ..common.config import SystemConfig
+from ..common.errors import ProtocolError
+from ..common.stats import StatGroup
+from ..core.discovery import DiscoveryDemand, DiscoveryEngine
+from ..directory.base import Directory, DirectoryEntry, Eviction, EvictionAction
+from ..mem import Memory
+from ..noc.network import Network
+from ..noc.traffic import MessageClass
+from .states import CoherenceProtocol, MesiState
+
+
+@dataclass
+class GrantResult:
+    """What the home hands back to the requesting L1 controller."""
+
+    latency: int          # critical-path cycles at and beyond the home
+    state: MesiState      # MESI state granted to the requester
+    version: int          # data version delivered
+
+
+class HomeController:
+    """Directory/LLC home logic shared by every directory organization."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        directory: Directory,
+        llc: SharedLLC,
+        l1s: List[L1Cache],
+        network: Network,
+        memory: Memory,
+        discovery: DiscoveryEngine,
+        stats: StatGroup,
+    ) -> None:
+        self.config = config
+        self.directory = directory
+        self.llc = llc
+        self.l1s = l1s
+        self.network = network
+        self.memory = memory
+        self.discovery = discovery
+        self.stats = stats
+        self.timing = config.timing
+        # Requester's current clock, set by CoherentSystem.access before each
+        # transaction; consumed by the (optional) DRAM timing model and the
+        # (optional) home-bank contention model.
+        self.now: float = 0.0
+        self._home_busy_until = [0.0] * config.num_cores
+        # Stash machinery only engages for stash-capable organizations.
+        self.stash_capable = hasattr(directory, "eligibility")
+        # MOESI adds the Owned state: dirty sharing, owner-supplied data.
+        self.moesi = config.protocol is CoherenceProtocol.MOESI
+        # Adaptive stash directories want discovery outcomes fed back.
+        self._notify_discovery = getattr(directory, "note_discovery", None)
+        # Optional discovery presence filter (set by CoherentSystem when
+        # DirectoryConfig.discovery_filter_slots > 0).
+        self.filter = None
+        # Data-version bookkeeping (stand-in for actual payloads).
+        self.latest_version: Dict[int, int] = {}
+        self.memory_version: Dict[int, int] = {}
+        self._version_clock = 0
+        # Coverage-miss attribution: blocks whose copy a core lost to a
+        # directory eviction; a later miss by that core on that block is a
+        # coverage miss.
+        self.dir_invalidated: List[Set[int]] = [set() for _ in l1s]
+
+    # ------------------------------------------------------------------ utils
+
+    def home_tile(self, addr: int) -> int:
+        """Mesh tile hosting the block's LLC bank and directory slice."""
+        return self.llc.bank_of(addr)
+
+    def mint_version(self, addr: int) -> int:
+        """Allocate the version a new write commits."""
+        self._version_clock += 1
+        self.latest_version[addr] = self._version_clock
+        return self._version_clock
+
+    def _roundtrip(self, a: int, b: int, out: MessageClass, back: MessageClass) -> int:
+        lat = self.network.send(a, b, out)
+        return lat + self.network.send(b, a, back)
+
+    def _home_wait(self, home: int) -> int:
+        """Queueing delay at the home bank's controller (0 when disabled).
+
+        Models each request occupying the bank for ``home_occupancy``
+        cycles; requests arriving while the bank is busy wait out the
+        residual.  Uses the requester's clock as the arrival time.
+        """
+        occupancy = self.timing.home_occupancy
+        if occupancy == 0:
+            return 0
+        wait = max(0.0, self._home_busy_until[home] - self.now)
+        self._home_busy_until[home] = self.now + wait + occupancy
+        if wait > 0:
+            self.stats.add("home_bank_waits")
+            self.stats.add("home_bank_wait_cycles", wait)
+        return int(wait)
+
+    def filter_add(self, core: int, addr: int) -> None:
+        """Record a granted copy in the presence filter (no-op if disabled)."""
+        if self.filter is not None:
+            self.filter.add(core, addr)
+
+    def _filter_remove(self, core: int, addr: int) -> None:
+        """Record a provably destroyed copy (no-op if disabled)."""
+        if self.filter is not None:
+            self.filter.remove(core, addr)
+
+    def _discovery_candidates(self, addr: int, exclude_core):
+        """Probe set for a discovery: filtered when a filter is present."""
+        if self.filter is None:
+            return None
+        return self.filter.candidates(addr, exclude_core)
+
+    # ---------------------------------------------------------------- misses
+
+    def handle_miss(self, core: int, addr: int, is_write: bool) -> GrantResult:
+        """Serve an L1 miss (GetS/GetM) for ``core``.
+
+        The request message itself (core -> home) is charged by the caller;
+        this method charges everything from the directory access onward,
+        including the response back to the core.
+        """
+        home = self.home_tile(addr)
+        latency = self.timing.directory_access + self._home_wait(home)
+        entry = self.directory.lookup(addr)
+        if entry is not None:
+            if is_write:
+                return self._dir_hit_write(core, addr, entry, home, latency)
+            return self._dir_hit_read(core, addr, entry, home, latency)
+        return self._dir_miss(core, addr, is_write, home, latency)
+
+    # -- directory hit, read --------------------------------------------------
+
+    def _dir_hit_read(
+        self, core: int, addr: int, entry: DirectoryEntry, home: int, latency: int
+    ) -> GrantResult:
+        owner = entry.owner
+        if owner is not None and owner != core:
+            return self._forward_read(core, addr, entry, owner, home, latency)
+        if owner == core:
+            # The core silently dropped its clean-exclusive copy and missed
+            # again; the home re-grants exclusivity from LLC data.
+            self.stats.add("self_regrants")
+            latency += self._serve_from_llc(core, addr, home)
+            entry.grant_exclusive(core)
+            return GrantResult(latency, MesiState.EXCLUSIVE, self._llc_version(addr))
+        # Shared (or stale-believed) entry: data lives in the LLC.
+        latency += self._serve_from_llc(core, addr, home)
+        entry.add_sharer(core)
+        return GrantResult(latency, MesiState.SHARED, self._llc_version(addr))
+
+    def _forward_read(
+        self,
+        core: int,
+        addr: int,
+        entry: DirectoryEntry,
+        owner: int,
+        home: int,
+        latency: int,
+    ) -> GrantResult:
+        """Intervene on the exclusive owner for a read."""
+        self.stats.add("forwards")
+        latency += self.network.send(home, owner, MessageClass.FORWARD)
+        owner_block = self.l1s[owner].probe(addr, touch=False)
+        if owner_block is None:
+            # Stale owner: it silently evicted its clean E copy.  It nacks;
+            # the home serves from the LLC instead.
+            self.stats.add("forward_nacks")
+            latency += self.network.send(owner, home, MessageClass.CONTROL_RESPONSE)
+            entry.remove_core(owner)
+            self._filter_remove(owner, addr)
+            latency += self._serve_from_llc(core, addr, home)
+            entry.add_sharer(core)
+            return GrantResult(latency, MesiState.SHARED, self._llc_version(addr))
+        was_dirty = bool(owner_block.dirty)
+        version = owner_block.version
+        if self.moesi and was_dirty:
+            # MOESI: the dirty owner keeps the line in Owned state and
+            # services the reader directly — no LLC writeback at all.  The
+            # entry keeps its owner pointer alongside the new sharer.
+            if MesiState(owner_block.state) is MesiState.MODIFIED:
+                self.l1s[owner].downgrade_to_owned(addr)
+            self.stats.add("owned_transitions")
+            latency += self.network.send(owner, core, MessageClass.DATA_RESPONSE)
+            latency += self.timing.l1_hit
+            entry.add_sharer(core)
+            return GrantResult(latency, MesiState.SHARED, version)
+        self.l1s[owner].downgrade_to_shared(addr)
+        if was_dirty:
+            # Dirty data goes to the requester and, off the critical path,
+            # back to the LLC so the home copy is current.
+            self.network.send(owner, home, MessageClass.WRITEBACK)
+            self.llc.write_back(addr, version)
+        latency += self.network.send(owner, core, MessageClass.DATA_RESPONSE)
+        latency += self.timing.l1_hit  # owner's tag access to source the data
+        entry.demote_owner()
+        entry.add_sharer(core)
+        return GrantResult(latency, MesiState.SHARED, version if was_dirty else self._llc_version(addr))
+
+    # -- directory hit, write --------------------------------------------------
+
+    def _dir_hit_write(
+        self, core: int, addr: int, entry: DirectoryEntry, home: int, latency: int
+    ) -> GrantResult:
+        owner = entry.owner
+        if owner is not None and owner != core:
+            if self.moesi and entry.believed_count() > 1:
+                # Owned state: sharers coexist with the owner; clear them
+                # before the ownership transfer (the owner is forwarded).
+                latency += self._invalidate_targets(
+                    entry, addr, home, skip=core, also_skip=owner
+                )
+            return self._forward_write(core, addr, entry, owner, home, latency)
+        if owner == core:
+            self.stats.add("self_regrants")
+            latency += self._serve_from_llc(core, addr, home)
+            entry.grant_exclusive(core)
+            return GrantResult(latency, MesiState.MODIFIED, self._llc_version(addr))
+        # Shared: invalidate every (believed) sharer, then serve LLC data.
+        latency += self._invalidate_targets(entry, addr, home, skip=core)
+        latency += self._serve_from_llc(core, addr, home)
+        entry.grant_exclusive(core)
+        return GrantResult(latency, MesiState.MODIFIED, self._llc_version(addr))
+
+    def _forward_write(
+        self,
+        core: int,
+        addr: int,
+        entry: DirectoryEntry,
+        owner: int,
+        home: int,
+        latency: int,
+    ) -> GrantResult:
+        """Intervene on the exclusive owner for a write (transfer ownership)."""
+        self.stats.add("forwards")
+        latency += self.network.send(home, owner, MessageClass.FORWARD)
+        removed = self.l1s[owner].invalidate(addr)
+        self._filter_remove(owner, addr)
+        if removed is None:
+            self.stats.add("forward_nacks")
+            latency += self.network.send(owner, home, MessageClass.CONTROL_RESPONSE)
+            entry.remove_core(owner)
+            latency += self._serve_from_llc(core, addr, home)
+            entry.grant_exclusive(core)
+            return GrantResult(latency, MesiState.MODIFIED, self._llc_version(addr))
+        # Ownership transfer carries the line straight to the requester
+        # (cache-to-cache); a stale LLC copy is safe because the requester
+        # immediately becomes the new owner.
+        version = removed.version if removed.dirty else self._llc_version(addr)
+        latency += self.network.send(owner, core, MessageClass.DATA_RESPONSE)
+        latency += self.timing.l1_hit
+        entry.grant_exclusive(core)
+        return GrantResult(latency, MesiState.MODIFIED, version)
+
+    # -- directory miss ----------------------------------------------------------
+
+    def _dir_miss(
+        self, core: int, addr: int, is_write: bool, home: int, latency: int
+    ) -> GrantResult:
+        llc_block = self.llc.probe(addr)
+        if llc_block is None:
+            return self._llc_miss(core, addr, is_write, home, latency)
+        if self.stash_capable and llc_block.stash:
+            return self._discover_and_serve(core, addr, is_write, home, latency)
+        if not self.stash_capable and llc_block.stash:  # pragma: no cover
+            raise ProtocolError("stash bit set under a non-stash directory")
+        # Untracked, un-hidden LLC hit: the requester becomes sole holder.
+        latency += self._allocate_entry(addr, home)
+        entry = self._tracked(addr)
+        entry.grant_exclusive(core)
+        latency += self._serve_from_llc(core, addr, home)
+        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
+        return GrantResult(latency, state, self._llc_version(addr))
+
+    def _discover_and_serve(
+        self, core: int, addr: int, is_write: bool, home: int, latency: int
+    ) -> GrantResult:
+        """Directory miss on a stash-bit LLC line: run discovery, then serve."""
+        demand = DiscoveryDemand.WRITE if is_write else DiscoveryDemand.READ
+        result = self.discovery.discover(
+            home, addr, demand, exclude_core=core,
+            candidates=self._discovery_candidates(addr, core),
+        )
+        if self._notify_discovery is not None:
+            self._notify_discovery(result.found)
+        if result.found and is_write:
+            self._filter_remove(result.hider, addr)
+        latency += result.latency
+        self.llc.clear_stash_bit(addr)
+        if result.dirty_version is not None:
+            self.llc.write_back(addr, result.dirty_version)
+        latency += self._allocate_entry(addr, home)
+        entry = self._tracked(addr)
+        if result.found and not is_write:
+            # Hider was downgraded to S by the discovery reply.
+            entry.add_sharer(result.hider)
+            entry.add_sharer(core)
+            latency += self._serve_from_llc(core, addr, home)
+            return GrantResult(latency, MesiState.SHARED, self._llc_version(addr))
+        # Write (hider invalidated by the reply) or false discovery:
+        # requester becomes sole holder.
+        entry.grant_exclusive(core)
+        latency += self._serve_from_llc(core, addr, home)
+        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
+        return GrantResult(latency, state, self._llc_version(addr))
+
+    def _llc_miss(
+        self, core: int, addr: int, is_write: bool, home: int, latency: int
+    ) -> GrantResult:
+        self.stats.add("llc_misses")
+        latency += self.timing.llc_access  # tag miss detection
+        victim = self.llc.peek_fill_victim(addr)
+        if victim is not None:
+            self._handle_llc_eviction(victim.addr, home)
+        # Fetch from memory.
+        self.network.send(home, home, MessageClass.MEMORY)
+        latency += self.memory.read(addr, self.now)
+        self.network.send(home, home, MessageClass.MEMORY)
+        self.llc.fill(addr, version=self.memory_version.get(addr, 0))
+        latency += self._allocate_entry(addr, home)
+        entry = self._tracked(addr)
+        entry.grant_exclusive(core)
+        latency += self.network.send(home, core, MessageClass.DATA_RESPONSE)
+        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
+        return GrantResult(latency, state, self._llc_version(addr))
+
+    # ----------------------------------------------------------------- upgrades
+
+    def handle_upgrade(self, core: int, addr: int) -> int:
+        """Serve a write-upgrade from a core holding the block in S.
+
+        Returns the latency beyond the request message.  The grant carries
+        no data (the requester already has the line).
+        """
+        home = self.home_tile(addr)
+        latency = self.timing.directory_access + self._home_wait(home)
+        self.stats.add("upgrade_requests")
+        entry = self.directory.lookup(addr)
+        if entry is not None:
+            latency += self._invalidate_targets(entry, addr, home, skip=core)
+            entry.grant_exclusive(core)
+            latency += self.network.send(home, core, MessageClass.CONTROL_RESPONSE)
+            return latency
+        # Untracked upgrade: only possible when the requester itself is the
+        # hidden holder of a stashed lone-S block.  The upgrade message
+        # proves the requester holds a copy, and relaxed inclusion caps
+        # untracked copies at one — so the home *knows* the requester is the
+        # sole holder and can grant exclusivity without any discovery
+        # broadcast.
+        if not self.stash_capable or not self.llc.stash_bit(addr):
+            raise ProtocolError(
+                f"upgrade for untracked block {addr:#x} outside the stash design"
+            )
+        self.stats.add("hider_upgrades")
+        self.llc.clear_stash_bit(addr)
+        latency += self._allocate_entry(addr, home)
+        entry = self._tracked(addr)
+        entry.grant_exclusive(core)
+        latency += self.network.send(home, core, MessageClass.CONTROL_RESPONSE)
+        return latency
+
+    # ----------------------------------------------------------------- putbacks
+
+    def handle_put(self, core: int, addr: int, dirty: bool, version: int) -> None:
+        """Absorb an L1 eviction (writeback if dirty, else notice/silence).
+
+        Entirely off the requester's critical path: traffic is recorded, no
+        latency is returned.
+        """
+        home = self.home_tile(addr)
+        if dirty:
+            self.network.send(core, home, MessageClass.WRITEBACK)
+            self.network.send(home, core, MessageClass.WB_ACK)
+            self.llc.write_back(addr, version)
+            self.stats.add("l1_writebacks")
+            self._filter_remove(core, addr)
+            self._retire_holder(core, addr)
+            return
+        if self.config.directory.clean_eviction_notification:
+            self.network.send(core, home, MessageClass.EVICTION_NOTICE)
+            self.stats.add("clean_eviction_notices")
+            self._filter_remove(core, addr)
+            self._retire_holder(core, addr)
+            return
+        # Silent clean eviction: directory/stash-bit state goes stale.
+        self.stats.add("silent_clean_evictions")
+
+    def _retire_holder(self, core: int, addr: int) -> None:
+        """The home learned ``core`` no longer holds ``addr``."""
+        entry = self.directory.lookup(addr, touch=False)
+        if entry is not None:
+            entry.remove_core(core)
+            if entry.is_empty():
+                self.directory.deallocate(addr)
+                self.stats.add("empty_entry_deallocations")
+        elif self.stash_capable and self.llc.stash_bit(addr):
+            # The departing core was the only possible hider.
+            self.llc.clear_stash_bit(addr)
+
+    # ------------------------------------------------------------ entry eviction
+
+    def _allocate_entry(self, addr: int, home: int) -> int:
+        """Allocate a directory entry, executing any displacement it causes.
+
+        Returns the latency the displacement adds to the requester's
+        critical path: a conventional invalidating eviction must complete
+        (acks collected) before the new entry is usable, whereas a **stash**
+        eviction is instantaneous — the entry is simply dropped and the LLC
+        stash bit set.  This latency asymmetry is part of the design's win.
+        """
+        result = self.directory.allocate(addr)
+        if result.eviction is None:
+            return 0
+        return self._execute_eviction(result.eviction, home)
+
+    def _execute_eviction(self, eviction: Eviction, home: int) -> int:
+        victim = eviction.entry
+        if eviction.action is EvictionAction.STASH:
+            # The paper's mechanism: drop silently, mark the LLC line.
+            self.llc.set_stash_bit(victim.addr)
+            self.stats.add("stash_evictions")
+            return 0
+        # Conventional invalidating eviction.
+        kind = "private" if victim.is_private() else "shared"
+        self.stats.add(f"dir_evictions_{kind}")
+        latency = self._invalidate_victim_entry(victim, home)
+        return latency
+
+    def _invalidate_victim_entry(self, victim: DirectoryEntry, home: int) -> int:
+        """Invalidate every (believed) copy of a displaced entry's block."""
+        worst = 0
+        for target in victim.targets():
+            self.stats.add("dir_eviction_inval_msgs")
+            rt = self._roundtrip(
+                home, target, MessageClass.INVALIDATION, MessageClass.INV_ACK
+            )
+            worst = max(worst, rt)
+            if target in victim.believed:
+                # The ack settles this target's outstanding grant whether or
+                # not a live copy was found (silent evictions included).
+                self._filter_remove(target, victim.addr)
+            removed = self.l1s[target].invalidate(victim.addr)
+            if removed is None:
+                continue
+            self.stats.add("dir_induced_invalidations")
+            self.dir_invalidated[target].add(victim.addr)
+            if removed.dirty:
+                self.network.send(target, home, MessageClass.WRITEBACK)
+                self.llc.write_back(victim.addr, removed.version)
+        return worst
+
+    def _invalidate_targets(
+        self,
+        entry: DirectoryEntry,
+        addr: int,
+        home: int,
+        skip: int,
+        also_skip: Optional[int] = None,
+    ) -> int:
+        """Invalidate every believed sharer except ``skip`` (the requester)
+        and ``also_skip`` (a dirty owner handled by a separate forward).
+
+        Under MESI, read-shared targets are never dirty.  Under MOESI an
+        invalidated target can be the *Owned* copy (e.g. a sharer upgrades
+        while another core owns the line); dropping it without writeback is
+        safe because every sharer — including the upgrading requester —
+        holds the identical latest data.
+        """
+        worst = 0
+        for target in entry.targets():
+            if target == skip or target == also_skip:
+                continue
+            self.stats.add("write_inval_msgs")
+            rt = self._roundtrip(
+                home, target, MessageClass.INVALIDATION, MessageClass.INV_ACK
+            )
+            worst = max(worst, rt)
+            if target in entry.believed:
+                self._filter_remove(target, addr)
+            removed = self.l1s[target].invalidate(addr)
+            if removed is not None and removed.dirty:
+                if not self.moesi:  # pragma: no cover - impossible in MESI
+                    raise ProtocolError("dirty copy found among read-shared targets")
+                self.stats.add("owned_copies_dropped")
+        return worst
+
+    # ------------------------------------------------------------- LLC eviction
+
+    def _handle_llc_eviction(self, victim_addr: int, home: int) -> None:
+        """Evict an LLC line: back-invalidate or discovery-invalidate.
+
+        Off the requester's critical path (handled by MSHR/writeback buffers
+        in real designs); traffic and memory writes are recorded.
+        """
+        self.stats.add("llc_evictions")
+        block = self.llc.probe(victim_addr, touch=False)
+        assert block is not None
+        version = block.version
+        dirty = bool(block.dirty)
+        entry = self.directory.lookup(victim_addr, touch=False)
+        if entry is not None:
+            for target in entry.targets():
+                self.network.send(home, target, MessageClass.INVALIDATION)
+                self.network.send(target, home, MessageClass.INV_ACK)
+                if target in entry.believed:
+                    self._filter_remove(target, victim_addr)
+                removed = self.l1s[target].invalidate(victim_addr)
+                if removed is not None:
+                    self.stats.add("llc_back_invalidations")
+                    if removed.dirty:
+                        self.network.send(target, home, MessageClass.WRITEBACK)
+                        dirty = True
+                        version = max(version, removed.version)
+            self.directory.deallocate(victim_addr)
+        elif self.stash_capable and block.stash:
+            result = self.discovery.discover(
+                home, victim_addr, DiscoveryDemand.EVICT, exclude_core=None,
+                candidates=self._discovery_candidates(victim_addr, None),
+            )
+            if self._notify_discovery is not None:
+                self._notify_discovery(result.found)
+            if result.found:
+                self._filter_remove(result.hider, victim_addr)
+            if result.found:
+                self.stats.add("llc_back_invalidations")
+            if result.dirty_version is not None:
+                dirty = True
+                version = max(version, result.dirty_version)
+        self.llc.invalidate(victim_addr)
+        if dirty:
+            self.network.send(home, home, MessageClass.MEMORY)
+            self.memory.write(victim_addr, self.now)
+            self.memory_version[victim_addr] = version
+
+    # ------------------------------------------------------------------ helpers
+
+    def _serve_from_llc(self, core: int, addr: int, home: int) -> int:
+        """LLC data access + response to the requester."""
+        self.stats.add("llc_hits")
+        return self.timing.llc_access + self.network.send(
+            home, core, MessageClass.DATA_RESPONSE
+        )
+
+    def _llc_version(self, addr: int) -> int:
+        block = self.llc.probe(addr, touch=False)
+        if block is None:  # pragma: no cover - inclusion guarantees presence
+            raise ProtocolError(f"LLC lost block {addr:#x} mid-transaction")
+        return block.version
+
+    def _tracked(self, addr: int) -> DirectoryEntry:
+        entry = self.directory.lookup(addr, touch=False)
+        if entry is None:  # pragma: no cover - just allocated
+            raise ProtocolError(f"entry for {addr:#x} vanished after allocation")
+        return entry

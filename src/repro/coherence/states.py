@@ -1,0 +1,25 @@
+"""MESI coherence states (re-export).
+
+The definitions live in :mod:`repro.common.mesi` so the cache substrate can
+use them without importing the protocol package (which imports the caches —
+keeping the dependency graph acyclic).  Protocol code imports them from
+here, their natural home.
+"""
+
+from ..common.mesi import (
+    CoherenceProtocol,
+    LlcState,
+    MesiState,
+    can_read,
+    can_write,
+    is_exclusive_class,
+)
+
+__all__ = [
+    "CoherenceProtocol",
+    "LlcState",
+    "MesiState",
+    "can_read",
+    "can_write",
+    "is_exclusive_class",
+]

@@ -1,0 +1,122 @@
+"""Hierarchical statistics collection.
+
+Every component of the simulator (caches, directories, NoC, protocol engine)
+owns a :class:`StatGroup` and increments named counters on it.  Groups nest,
+so a finished simulation exposes one tree such as::
+
+    system
+      l1.0          hits=..., misses=...
+      llc           hits=..., misses=..., stash_bits_set=...
+      directory     allocs=..., stash_evictions=..., inval_evictions=...
+      noc           msgs.request=..., hops.request=...
+
+Counters are created on first use, which keeps instrumentation code free of
+declarations, and :meth:`StatGroup.to_dict` flattens the tree for reporting,
+assertions in tests, and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class StatGroup:
+    """A named bag of counters with nested child groups.
+
+    Counters are floats internally so they can also hold accumulated
+    latencies and derived averages, but integer increments stay exact.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, float] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    # -- counter operations -------------------------------------------------
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to ``counter``, creating it at zero if absent."""
+        self._counters[counter] = self._counters.get(counter, 0.0) + amount
+
+    def set(self, counter: str, value: float) -> None:
+        """Set ``counter`` to an absolute value (for gauges like sizes)."""
+        self._counters[counter] = value
+
+    def get(self, counter: str) -> float:
+        """Read a counter; absent counters read as zero."""
+        return self._counters.get(counter, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        """A copy of this group's own (non-nested) counters."""
+        return dict(self._counters)
+
+    # -- hierarchy -----------------------------------------------------------
+
+    def child(self, name: str) -> "StatGroup":
+        """Return the child group ``name``, creating it if needed."""
+        group = self._children.get(name)
+        if group is None:
+            group = StatGroup(name)
+            self._children[name] = group
+        return group
+
+    def children(self) -> Dict[str, "StatGroup"]:
+        """A copy of the child-group mapping."""
+        return dict(self._children)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "StatGroup") -> None:
+        """Accumulate ``other``'s counters (recursively) into this group.
+
+        Used to aggregate per-core groups (e.g. all L1s) into one summary.
+        """
+        for counter, value in other._counters.items():
+            self.add(counter, value)
+        for name, group in other._children.items():
+            self.child(name).merge(group)
+
+    def to_dict(self, prefix: str = "") -> Dict[str, float]:
+        """Flatten the tree to ``{"group.sub.counter": value}``."""
+        flat: Dict[str, float] = {}
+        base = f"{prefix}{self.name}" if prefix or self.name else self.name
+        for counter, value in sorted(self._counters.items()):
+            key = f"{base}.{counter}" if base else counter
+            flat[key] = value
+        for name in sorted(self._children):
+            flat.update(self._children[name].to_dict(prefix=f"{base}." if base else ""))
+        return flat
+
+    def walk(self) -> Iterator[Tuple[str, str, float]]:
+        """Yield ``(group_path, counter, value)`` in deterministic order."""
+        for key, value in self.to_dict().items():
+            path, _, counter = key.rpartition(".")
+            yield path, counter, value
+
+    def total(self, counter: str) -> float:
+        """Sum ``counter`` over this group and all descendants."""
+        result = self.get(counter)
+        for group in self._children.values():
+            result += group.total(counter)
+        return result
+
+    def reset(self) -> None:
+        """Zero every counter in this group and all descendants."""
+        self._counters.clear()
+        for group in self._children.values():
+            group.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatGroup({self.name!r}, counters={len(self._counters)}, children={len(self._children)})"
+
+
+def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Safe division used all over the analysis code."""
+    if denominator == 0:
+        return default
+    return numerator / denominator
+
+
+def per_kilo(count: float, base: float) -> float:
+    """Events per 1000 of ``base`` (the paper's 'per 1k accesses' metric)."""
+    return ratio(count * 1000.0, base)

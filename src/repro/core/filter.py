@@ -1,0 +1,93 @@
+"""Conservative presence filters: shrink discovery-broadcast fan-out.
+
+A discovery must reach the hidden copy *if one exists*; probing everyone is
+always safe but costs 2(N-1) messages.  This extension gives the home a
+per-core **counting presence filter** (a 1-hash counting Bloom filter over
+block addresses):
+
+* the counter for (core, hash(addr)) is **incremented whenever the
+  protocol hands that core a copy** (every L1 fill), and
+* **decremented only when the copy provably ceases to exist** — an
+  invalidation that found the line, a dirty writeback (PutM), an explicit
+  clean-eviction notice, or a discovery that removed it.
+
+Silent clean evictions decrement nothing, so counters only ever
+*overcount* — the filter's candidate set is a guaranteed **superset of the
+true holders** (the safety property the A5 property tests pin down), and a
+discovery probe can skip every core whose counter slot is zero.
+
+Aliasing (two blocks hashing to one slot) also only overcounts.  Hardware
+cost: ``slots`` small counters per core at the home — comparable to a
+coarse sharer vector, charged in the storage model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.addr import is_power_of_two, stride_hash
+from ..common.errors import ConfigError, ProtocolError
+from ..common.stats import StatGroup
+
+
+class PresenceFilter:
+    """Per-core counting filters over block addresses."""
+
+    def __init__(self, num_cores: int, slots: int, stats: StatGroup) -> None:
+        if num_cores < 1:
+            raise ConfigError("presence filter needs num_cores >= 1")
+        if not is_power_of_two(slots):
+            raise ConfigError(f"filter slots must be a power of two, got {slots}")
+        self.num_cores = num_cores
+        self.slots = slots
+        self._stats = stats
+        self._counts: List[List[int]] = [[0] * slots for _ in range(num_cores)]
+        self._mask = slots - 1
+
+    def _slot(self, addr: int) -> int:
+        return stride_hash(addr, 0xF17E) & self._mask
+
+    # -- bookkeeping (called by the protocol engine) -----------------------------
+
+    def add(self, core: int, addr: int) -> None:
+        """``core`` received a copy of ``addr``."""
+        self._counts[core][self._slot(addr)] += 1
+
+    def remove(self, core: int, addr: int) -> None:
+        """``core`` provably lost its copy of ``addr``.
+
+        Calls must pair one-to-one with prior grants; a zero counter here
+        indicates a protocol bookkeeping bug and raises.
+        """
+        slot = self._slot(addr)
+        if self._counts[core][slot] <= 0:
+            raise ProtocolError(
+                f"presence filter underflow: core {core}, block {addr:#x}"
+            )
+        self._counts[core][slot] -= 1
+
+    # -- querying --------------------------------------------------------------------
+
+    def may_hold(self, core: int, addr: int) -> bool:
+        """Could ``core`` hold ``addr``?  (False is definitive.)"""
+        return self._counts[core][self._slot(addr)] > 0
+
+    def candidates(self, addr: int, exclude_core: Optional[int] = None) -> List[int]:
+        """Cores a discovery of ``addr`` must probe (superset of holders)."""
+        result = [
+            core
+            for core in range(self.num_cores)
+            if core != exclude_core and self._counts[core][self._slot(addr)] > 0
+        ]
+        self._stats.add("queries")
+        self._stats.add("candidates_returned", len(result))
+        skipped = self.num_cores - len(result) - (exclude_core is not None)
+        self._stats.add("probes_skipped", max(0, skipped))
+        return result
+
+    # -- storage model ------------------------------------------------------------------
+
+    @staticmethod
+    def storage_bits(num_cores: int, slots: int, counter_bits: int = 4) -> int:
+        """Bits the filters occupy at the home (for the area model)."""
+        return num_cores * slots * counter_bits

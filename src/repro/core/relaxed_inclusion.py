@@ -1,0 +1,110 @@
+"""The relaxed-inclusion property, as checkable predicates.
+
+Conventional sparse directories maintain **strict inclusion**:
+
+    every block cached in any private cache has a directory entry whose
+    believed-holder set contains that cache.
+
+The stash directory relaxes this to:
+
+    every block cached in any private cache is either *tracked* (as above)
+    or *hidden*: untracked, resident in the inclusive LLC with the stash
+    bit set, and cached by **exactly one** private cache.
+
+These predicates are pure functions over (L1s, LLC, directory) so both the
+runtime invariant checker (:mod:`repro.coherence.invariants`) and the tests
+use the same definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..cache.l1 import L1Cache
+from ..cache.llc import SharedLLC
+from ..directory.base import Directory
+
+
+@dataclass
+class InclusionReport:
+    """Classification of every privately cached block."""
+
+    tracked: Set[int] = field(default_factory=set)      # block addrs tracked correctly
+    hidden: Set[int] = field(default_factory=set)       # legally hidden (stash)
+    violations: List[str] = field(default_factory=list)  # human-readable failures
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+
+def _holders_by_block(l1s: List[L1Cache]) -> Dict[int, List[int]]:
+    holders: Dict[int, List[int]] = {}
+    for l1 in l1s:
+        for block in l1.iter_blocks():
+            holders.setdefault(block.addr, []).append(l1.core_id)
+    return holders
+
+
+def check_strict_inclusion(
+    l1s: List[L1Cache], directory: Directory
+) -> InclusionReport:
+    """Verify strict inclusion (conventional sparse / cuckoo / ideal)."""
+    report = InclusionReport()
+    for addr, cores in _holders_by_block(l1s).items():
+        entry = directory.lookup(addr, touch=False)
+        if entry is None:
+            report.violations.append(
+                f"block {addr:#x} cached by cores {cores} but untracked"
+            )
+            continue
+        missing = [core for core in cores if core not in entry.believed]
+        if missing:
+            report.violations.append(
+                f"block {addr:#x}: cores {missing} hold it but are not believed holders"
+            )
+        else:
+            report.tracked.add(addr)
+    return report
+
+
+def check_relaxed_inclusion(
+    l1s: List[L1Cache], llc: SharedLLC, directory: Directory
+) -> InclusionReport:
+    """Verify the stash directory's relaxed inclusion."""
+    report = InclusionReport()
+    for addr, cores in _holders_by_block(l1s).items():
+        entry = directory.lookup(addr, touch=False)
+        if entry is not None:
+            missing = [core for core in cores if core not in entry.believed]
+            if missing:
+                report.violations.append(
+                    f"block {addr:#x}: cores {missing} hold it but are not believed holders"
+                )
+            else:
+                report.tracked.add(addr)
+            continue
+        # Untracked: must be a legal hidden block.
+        if len(cores) > 1:
+            report.violations.append(
+                f"block {addr:#x} hidden in multiple caches {cores}: "
+                "at most one hider is allowed"
+            )
+            continue
+        llc_block = llc.probe(addr, touch=False)
+        if llc_block is None:
+            report.violations.append(
+                f"block {addr:#x} hidden in core {cores[0]} but absent from the "
+                "inclusive LLC"
+            )
+            continue
+        if not llc_block.stash:
+            report.violations.append(
+                f"block {addr:#x} hidden in core {cores[0]} but its LLC stash bit "
+                "is clear — discovery could never find it"
+            )
+            continue
+        report.hidden.add(addr)
+    return report

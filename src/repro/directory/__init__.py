@@ -1,0 +1,92 @@
+"""Directory organizations: interface, baselines and the factory.
+
+The contribution (:class:`~repro.core.StashDirectory`) lives in
+:mod:`repro.core`; :func:`make_directory` builds any of the four kinds from
+a :class:`~repro.common.config.DirectoryConfig`.
+"""
+
+from __future__ import annotations
+
+from ..common.config import DirectoryConfig, DirectoryKind
+from ..common.errors import ConfigError
+from ..common.rng import DeterministicRng
+from ..common.stats import StatGroup
+from .base import (
+    AllocationResult,
+    DirEntryState,
+    Directory,
+    DirectoryEntry,
+    Eviction,
+    EvictionAction,
+)
+from .cuckoo import CuckooDirectory
+from .hierarchical import ScdDirectory
+from .ideal import IdealDirectory
+from .sharers import (
+    CoarseVector,
+    FullBitVector,
+    LimitedPointer,
+    SharerRep,
+    make_sharer_rep,
+    sharer_storage_bits,
+)
+from .sparse import SparseDirectory
+
+__all__ = [
+    "AllocationResult",
+    "CoarseVector",
+    "CuckooDirectory",
+    "DirEntryState",
+    "Directory",
+    "DirectoryEntry",
+    "Eviction",
+    "EvictionAction",
+    "FullBitVector",
+    "IdealDirectory",
+    "LimitedPointer",
+    "SharerRep",
+    "ScdDirectory",
+    "SparseDirectory",
+    "make_directory",
+    "make_sharer_rep",
+    "sharer_storage_bits",
+]
+
+
+def make_directory(
+    config: DirectoryConfig,
+    num_cores: int,
+    entries: int,
+    rng: DeterministicRng,
+    stats: StatGroup,
+) -> Directory:
+    """Instantiate the directory organization ``config.kind`` requests.
+
+    ``entries`` is the resolved capacity (see
+    :meth:`~repro.common.config.DirectoryConfig.entries_for`); the IDEAL
+    kind ignores it.
+    """
+    if config.kind is DirectoryKind.IDEAL:
+        return IdealDirectory(config, num_cores, stats)
+    if config.kind is DirectoryKind.IN_LLC:
+        # Behaviourally an unbounded directory: entries exist exactly for
+        # LLC-resident blocks (the protocol deallocates on LLC eviction),
+        # so embedding a sharer vector in every LLC line never conflicts.
+        # The difference from IDEAL is purely the storage model (see
+        # repro.energy.area).
+        return IdealDirectory(config, num_cores, stats)
+    if config.kind is DirectoryKind.SPARSE:
+        return SparseDirectory(config, num_cores, entries, rng, stats)
+    if config.kind is DirectoryKind.CUCKOO:
+        return CuckooDirectory(config, num_cores, entries, rng, stats)
+    if config.kind is DirectoryKind.SCD:
+        return ScdDirectory(config, num_cores, entries, rng, stats)
+    if config.kind is DirectoryKind.STASH:
+        from ..core.stash_directory import StashDirectory
+
+        return StashDirectory(config, num_cores, entries, rng, stats)
+    if config.kind is DirectoryKind.ADAPTIVE_STASH:
+        from ..core.adaptive import AdaptiveStashDirectory
+
+        return AdaptiveStashDirectory(config, num_cores, entries, rng, stats)
+    raise ConfigError(f"unknown directory kind {config.kind!r}")  # pragma: no cover

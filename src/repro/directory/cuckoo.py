@@ -1,0 +1,187 @@
+"""Cuckoo directory baseline (Ferdman et al., HPCA 2011).
+
+A d-ary cuckoo hash table: ``d`` independent hash functions each map a block
+to one slot in its own sub-table.  On insertion conflict the directory
+*relocates* a resident entry to one of its alternative slots, following a
+displacement chain up to ``max_path`` steps; only if the chain fails does it
+fall back to a conventional invalidating eviction.  Relocation converts most
+conflict evictions into extra directory writes, which is why the cuckoo
+directory tolerates lower provisioning than a set-associative sparse
+directory — but unlike the stash directory it still invalidates whenever it
+does run out of room, and every eviction (private or shared) costs cached
+copies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..common.addr import stride_hash
+from ..common.config import DirectoryConfig
+from ..common.errors import ConfigError, DirectoryError
+from ..common.rng import DeterministicRng
+from ..common.stats import StatGroup
+from .base import (
+    AllocationResult,
+    Directory,
+    DirectoryEntry,
+    Eviction,
+    EvictionAction,
+)
+from .sharers import make_sharer_rep
+
+#: Displacement-chain length bound before giving up and evicting.
+DEFAULT_MAX_PATH = 8
+
+
+class CuckooDirectory(Directory):
+    """d-ary cuckoo-hashed directory with relocate-before-evict."""
+
+    def __init__(
+        self,
+        config: DirectoryConfig,
+        num_cores: int,
+        entries: int,
+        rng: DeterministicRng,
+        stats: StatGroup,
+        max_path: int = DEFAULT_MAX_PATH,
+    ) -> None:
+        super().__init__(config, num_cores, entries)
+        self.d = config.ways  # number of hash functions / sub-tables
+        if entries % self.d != 0:
+            raise ConfigError(
+                f"cuckoo entries ({entries}) must be a multiple of hash ways ({self.d})"
+            )
+        if max_path < 1:
+            raise ConfigError("cuckoo max_path must be >= 1")
+        self.slots_per_way = entries // self.d
+        self.max_path = max_path
+        self.stats = stats
+        self._rng = rng
+        self._tables: List[List[Optional[DirectoryEntry]]] = [
+            [None] * self.slots_per_way for _ in range(self.d)
+        ]
+        # Candidate slots are recomputed on every lookup/relocation step;
+        # workloads reuse addresses heavily, so memoize per address.
+        self._slot_cache: dict = {}
+
+    # -- hashing ---------------------------------------------------------------
+
+    def _slots(self, addr: int) -> tuple:
+        slots = self._slot_cache.get(addr)
+        if slots is None:
+            slots = tuple(
+                stride_hash(addr, way + 1) % self.slots_per_way
+                for way in range(self.d)
+            )
+            self._slot_cache[addr] = slots
+        return slots
+
+    def _slot(self, addr: int, way: int) -> int:
+        return self._slots(addr)[way]
+
+    # -- Directory interface ------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
+        slots = self._slots(addr)
+        for way in range(self.d):
+            entry = self._tables[way][slots[way]]
+            if entry is not None and entry.addr == addr:
+                if touch:
+                    self.stats.add("hits")
+                return entry
+        if touch:
+            self.stats.add("misses")
+        return None
+
+    def allocate(self, addr: int) -> AllocationResult:
+        if self.lookup(addr, touch=False) is not None:
+            raise DirectoryError(f"block {addr:#x} is already tracked")
+
+        rep = make_sharer_rep(
+            self.config.sharer_format,
+            self.num_cores,
+            group=self.config.coarse_group,
+            pointers=self.config.limited_pointers,
+        )
+        entry = DirectoryEntry(addr, rep)
+        self.stats.add("allocations")
+
+        homeless = entry
+        last_way = -1  # way we just placed into; don't bounce straight back
+        for _step in range(self.max_path + 1):
+            # Any free candidate slot?
+            slots = self._slots(homeless.addr)
+            for way in range(self.d):
+                slot = slots[way]
+                if self._tables[way][slot] is None:
+                    self._tables[way][slot] = homeless
+                    if homeless is not entry:
+                        self.stats.add("relocations")
+                    return AllocationResult(entry, eviction=None)
+            # All candidates full: displace one resident and recurse.  Never
+            # displace the entry being inserted (its candidate slots can
+            # collide with the homeless entry's), and avoid bouncing the
+            # displaced entry straight back into the slot it came from.
+            way = self._pick_displacement_way(homeless, entry, last_way)
+            if way is None:
+                break  # only the new entry's slot remains: stop relocating
+            slot = self._slot(homeless.addr, way)
+            displaced = self._tables[way][slot]
+            assert displaced is not None and displaced is not entry
+            self._tables[way][slot] = homeless
+            if homeless is not entry:
+                self.stats.add("relocations")
+            homeless = displaced
+            last_way = way
+
+        # Chain exhausted: the still-homeless entry is evicted conventionally.
+        self.stats.add("evictions")
+        self.stats.add("evictions_invalidate")
+        return AllocationResult(entry, Eviction(homeless, EvictionAction.INVALIDATE))
+
+    def _pick_displacement_way(
+        self, homeless: DirectoryEntry, new_entry: DirectoryEntry, last_way: int
+    ) -> Optional[int]:
+        """Pick which candidate slot of ``homeless`` to displace.
+
+        Preference order: a random way that neither holds ``new_entry`` nor
+        is the way we just filled; then any way not holding ``new_entry``;
+        ``None`` when every option holds ``new_entry`` (only possible for
+        d == 1), which ends the chain with a conventional eviction.
+        """
+        start = self._rng.randint(0, self.d - 1)
+        fallback = None
+        for offset in range(self.d):
+            way = (start + offset) % self.d
+            slot = self._slot(homeless.addr, way)
+            occupant = self._tables[way][slot]
+            if occupant is new_entry:
+                continue
+            if way == last_way:
+                fallback = way
+                continue
+            return way
+        return fallback
+
+    def deallocate(self, addr: int) -> None:
+        for way in range(self.d):
+            slot = self._slot(addr, way)
+            entry = self._tables[way][slot]
+            if entry is not None and entry.addr == addr:
+                self._tables[way][slot] = None
+                self.stats.add("deallocations")
+                return
+
+    # -- inspection ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(
+            1 for table in self._tables for entry in table if entry is not None
+        )
+
+    def iter_entries(self) -> Iterator[DirectoryEntry]:
+        for table in self._tables:
+            for entry in table:
+                if entry is not None:
+                    yield entry

@@ -1,0 +1,209 @@
+"""Sharer-set representations for directory entries.
+
+A directory entry must encode *which* private caches hold the block.  The
+paper's storage argument depends on this encoding, and the protocol's
+invalidation traffic depends on its precision, so we implement the three
+classic formats:
+
+* **Full bit vector** — one presence bit per core; exact.
+* **Coarse vector** — one bit per *group* of cores; invalidations go to every
+  core of a marked group, so imprecision costs spurious invalidation
+  messages (each finds nothing and is acked empty).
+* **Limited pointers** — up to *k* explicit core ids; on overflow the entry
+  degrades to broadcast-on-invalidate (the classic Dir\\ :sub:`i`\\ B scheme).
+
+All three keep an exact *sharer counter* alongside (a handful of bits in
+hardware, standard practice); the stash directory's private-block test reads
+this counter, which is why stashing composes with any format.
+
+``targets()`` returns the set of cores an invalidation must be sent to — an
+**over-approximation** of the true holders for the imprecise formats.  The
+protocol sends to every target; targets that do not hold the line simply ack
+without data, and those messages are what the A3 ablation measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..common.config import SharerFormat
+from ..common.errors import ConfigError
+
+
+class SharerRep:
+    """Interface every sharer representation implements.
+
+    ``num_cores`` is the system core count; implementations may hold
+    format-specific parameters.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ConfigError("sharer representation needs num_cores >= 1")
+        self.num_cores = num_cores
+
+    def add(self, core: int) -> None:
+        """Record that ``core`` obtained a copy."""
+        raise NotImplementedError
+
+    def remove(self, core: int) -> None:
+        """Record that ``core``'s copy is gone (best effort for imprecise
+        formats — they may be unable to clear their encoding)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Forget all sharers."""
+        raise NotImplementedError
+
+    def targets(self) -> List[int]:
+        """Cores an invalidation must reach (superset of true holders)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def storage_bits(num_cores: int, **params: int) -> int:
+        """Bits this format occupies per entry (for the area model)."""
+        raise NotImplementedError
+
+
+class FullBitVector(SharerRep):
+    """Exact one-bit-per-core presence vector (an int bitmask)."""
+
+    __slots__ = ("num_cores", "mask")
+
+    def __init__(self, num_cores: int) -> None:
+        super().__init__(num_cores)
+        self.mask = 0
+
+    def add(self, core: int) -> None:
+        self.mask |= 1 << core
+
+    def remove(self, core: int) -> None:
+        self.mask &= ~(1 << core)
+
+    def clear(self) -> None:
+        self.mask = 0
+
+    def targets(self) -> List[int]:
+        result = []
+        mask = self.mask
+        core = 0
+        while mask:
+            if mask & 1:
+                result.append(core)
+            mask >>= 1
+            core += 1
+        return result
+
+    @staticmethod
+    def storage_bits(num_cores: int, **params: int) -> int:
+        return num_cores
+
+
+class CoarseVector(SharerRep):
+    """One bit per group of ``group`` cores.
+
+    ``remove`` cannot clear a group bit (another group member might still
+    hold a copy), so bits only accumulate until ``clear``; this is the real
+    hardware behaviour and the source of its spurious invalidations.
+    """
+
+    __slots__ = ("num_cores", "group", "mask")
+
+    def __init__(self, num_cores: int, group: int = 4) -> None:
+        super().__init__(num_cores)
+        if group < 1:
+            raise ConfigError("coarse vector group must be >= 1")
+        self.group = group
+        self.mask = 0
+
+    def add(self, core: int) -> None:
+        self.mask |= 1 << (core // self.group)
+
+    def remove(self, core: int) -> None:
+        # A single departure cannot prove the whole group empty.
+        pass
+
+    def clear(self) -> None:
+        self.mask = 0
+
+    def targets(self) -> List[int]:
+        result = []
+        num_groups = (self.num_cores + self.group - 1) // self.group
+        for g in range(num_groups):
+            if self.mask & (1 << g):
+                start = g * self.group
+                result.extend(range(start, min(start + self.group, self.num_cores)))
+        return result
+
+    @staticmethod
+    def storage_bits(num_cores: int, **params: int) -> int:
+        group = params.get("group", 4)
+        return (num_cores + group - 1) // group
+
+
+class LimitedPointer(SharerRep):
+    """Up to ``pointers`` explicit core ids, broadcast on overflow."""
+
+    __slots__ = ("num_cores", "pointers", "ids", "overflowed")
+
+    def __init__(self, num_cores: int, pointers: int = 4) -> None:
+        super().__init__(num_cores)
+        if pointers < 1:
+            raise ConfigError("limited pointer count must be >= 1")
+        self.pointers = pointers
+        self.ids: List[int] = []
+        self.overflowed = False
+
+    def add(self, core: int) -> None:
+        if self.overflowed or core in self.ids:
+            return
+        if len(self.ids) < self.pointers:
+            self.ids.append(core)
+        else:
+            self.overflowed = True
+            self.ids.clear()
+
+    def remove(self, core: int) -> None:
+        if not self.overflowed and core in self.ids:
+            self.ids.remove(core)
+
+    def clear(self) -> None:
+        self.ids.clear()
+        self.overflowed = False
+
+    def targets(self) -> List[int]:
+        if self.overflowed:
+            return list(range(self.num_cores))
+        return list(self.ids)
+
+    @staticmethod
+    def storage_bits(num_cores: int, **params: int) -> int:
+        pointers = params.get("pointers", 4)
+        ptr_bits = max(1, (num_cores - 1).bit_length())
+        return pointers * ptr_bits + 1  # +1 overflow bit
+
+
+_FACTORIES: Dict[SharerFormat, Callable[..., SharerRep]] = {
+    SharerFormat.FULL_BIT_VECTOR: lambda n, **kw: FullBitVector(n),
+    SharerFormat.COARSE_VECTOR: lambda n, **kw: CoarseVector(n, kw.get("group", 4)),
+    SharerFormat.LIMITED_POINTER: lambda n, **kw: LimitedPointer(n, kw.get("pointers", 4)),
+}
+
+
+def make_sharer_rep(fmt: SharerFormat, num_cores: int, **params: int) -> SharerRep:
+    """Instantiate a sharer representation of format ``fmt``."""
+    try:
+        factory = _FACTORIES[fmt]
+    except KeyError:  # pragma: no cover - enum is closed
+        raise ConfigError(f"unknown sharer format {fmt!r}") from None
+    return factory(num_cores, **params)
+
+
+def sharer_storage_bits(fmt: SharerFormat, num_cores: int, **params: int) -> int:
+    """Bits per entry the format occupies (area model entry point)."""
+    cls = {
+        SharerFormat.FULL_BIT_VECTOR: FullBitVector,
+        SharerFormat.COARSE_VECTOR: CoarseVector,
+        SharerFormat.LIMITED_POINTER: LimitedPointer,
+    }[fmt]
+    return cls.storage_bits(num_cores, **params)

@@ -1,0 +1,164 @@
+"""Conventional set-associative sparse directory.
+
+The baseline the paper improves on: a directory *cache* with ``sets x ways``
+entries.  When a set is full and a new block needs tracking, the replacement
+policy picks a victim entry and — because the conventional design maintains
+**strict inclusion** ("every privately cached block is tracked") — the
+protocol must invalidate every cached copy of the victim block.  These
+directory-induced invalidations are exactly what destroys performance when
+the directory is under-provisioned, and what the stash directory removes.
+
+The set/way mechanics mirror :class:`~repro.cache.array.CacheArray` but store
+:class:`~repro.directory.base.DirectoryEntry` records; victim choice is
+factored into :meth:`choose_victim` so the stash directory can subclass and
+redirect it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..cache.replacement import ReplacementPolicy, make_policy
+from ..common.addr import log2_exact
+from ..common.config import DirectoryConfig
+from ..common.errors import ConfigError, DirectoryError
+from ..common.rng import DeterministicRng
+from ..common.stats import StatGroup
+from .base import (
+    AllocationResult,
+    Directory,
+    DirectoryEntry,
+    Eviction,
+    EvictionAction,
+)
+from .sharers import make_sharer_rep
+
+
+class _DirSet:
+    """One directory set: way-slots, an address index and replacement state."""
+
+    __slots__ = ("ways", "entries", "by_addr", "policy")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.ways = ways
+        self.entries: List[Optional[DirectoryEntry]] = [None] * ways
+        self.by_addr: Dict[int, int] = {}
+        self.policy = policy
+
+    def find(self, addr: int) -> Optional[int]:
+        return self.by_addr.get(addr)
+
+    def free_way(self) -> Optional[int]:
+        if len(self.by_addr) == self.ways:
+            return None
+        for way, entry in enumerate(self.entries):
+            if entry is None:
+                return way
+        raise DirectoryError("directory set bookkeeping out of sync")  # pragma: no cover
+
+
+class SparseDirectory(Directory):
+    """Set-associative sparse directory with invalidate-on-eviction."""
+
+    def __init__(
+        self,
+        config: DirectoryConfig,
+        num_cores: int,
+        entries: int,
+        rng: DeterministicRng,
+        stats: StatGroup,
+    ) -> None:
+        super().__init__(config, num_cores, entries)
+        if entries % config.ways != 0:
+            raise ConfigError(
+                f"directory entries ({entries}) must be a multiple of ways ({config.ways})"
+            )
+        self.sets = entries // config.ways
+        log2_exact(self.sets)  # indexing requires power-of-two sets
+        self._index_mask = self.sets - 1
+        self.stats = stats
+        self._sets: List[_DirSet] = [
+            _DirSet(config.ways, make_policy("lru", config.ways, rng.spawn(i)))
+            for i in range(self.sets)
+        ]
+
+    # -- internals -------------------------------------------------------------
+
+    def _set_of(self, addr: int) -> _DirSet:
+        return self._sets[addr & self._index_mask]
+
+    def _new_entry(self, addr: int) -> DirectoryEntry:
+        rep = make_sharer_rep(
+            self.config.sharer_format,
+            self.num_cores,
+            group=self.config.coarse_group,
+            pointers=self.config.limited_pointers,
+        )
+        return DirectoryEntry(addr, rep)
+
+    def choose_victim(self, dirset: _DirSet) -> Tuple[int, EvictionAction]:
+        """Pick ``(way, action)`` when the set is full.
+
+        The conventional design always invalidates; the stash directory
+        overrides this to prefer stash-eligible entries.
+        """
+        return dirset.policy.victim(), EvictionAction.INVALIDATE
+
+    # -- Directory interface ------------------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
+        dirset = self._set_of(addr)
+        way = dirset.find(addr)
+        if way is None:
+            if touch:
+                self.stats.add("misses")
+            return None
+        if touch:
+            dirset.policy.on_access(way)
+            self.stats.add("hits")
+        return dirset.entries[way]
+
+    def allocate(self, addr: int) -> AllocationResult:
+        dirset = self._set_of(addr)
+        if dirset.find(addr) is not None:
+            raise DirectoryError(f"block {addr:#x} is already tracked")
+        way = dirset.free_way()
+        eviction: Optional[Eviction] = None
+        if way is None:
+            way, action = self.choose_victim(dirset)
+            victim = dirset.entries[way]
+            assert victim is not None
+            del dirset.by_addr[victim.addr]
+            eviction = Eviction(victim, action)
+            self.stats.add("evictions")
+            self.stats.add(f"evictions_{action.value}")
+        entry = self._new_entry(addr)
+        dirset.entries[way] = entry
+        dirset.by_addr[addr] = way
+        dirset.policy.on_fill(way)
+        self.stats.add("allocations")
+        return AllocationResult(entry, eviction)
+
+    def deallocate(self, addr: int) -> None:
+        dirset = self._set_of(addr)
+        way = dirset.find(addr)
+        if way is None:
+            return
+        dirset.entries[way] = None
+        del dirset.by_addr[addr]
+        self.stats.add("deallocations")
+
+    # -- inspection ------------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return sum(len(dirset.by_addr) for dirset in self._sets)
+
+    def iter_entries(self) -> Iterator[DirectoryEntry]:
+        for dirset in self._sets:
+            for entry in dirset.entries:
+                if entry is not None:
+                    yield entry
+
+    def set_occupancy(self, addr: int) -> int:
+        """Live entries in the set ``addr`` maps to (test helper)."""
+        return len(self._set_of(addr).by_addr)

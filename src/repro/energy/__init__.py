@@ -1,0 +1,20 @@
+"""Energy and storage/area models."""
+
+from .area import (
+    PHYSICAL_ADDR_BITS,
+    StorageEstimate,
+    entry_bits,
+    relative_storage,
+    storage_of,
+)
+from .model import EnergyBreakdown, energy_of
+
+__all__ = [
+    "EnergyBreakdown",
+    "PHYSICAL_ADDR_BITS",
+    "StorageEstimate",
+    "energy_of",
+    "entry_bits",
+    "relative_storage",
+    "storage_of",
+]

@@ -1,0 +1,17 @@
+"""Mesh NoC model: topology, latency and per-class traffic accounting."""
+
+from .contention import LinkTracker
+from .network import Network
+from .topology import Mesh2D
+from .traffic import DATA_CLASSES, DATA_FLITS, MessageClass, TrafficMeter, flits_of
+
+__all__ = [
+    "LinkTracker",
+    "DATA_CLASSES",
+    "DATA_FLITS",
+    "Mesh2D",
+    "MessageClass",
+    "Network",
+    "TrafficMeter",
+    "flits_of",
+]

@@ -1,0 +1,103 @@
+"""Per-link traffic attribution and congestion estimation.
+
+The base network model charges distance-proportional latency and meters
+traffic per message class.  For *where does the traffic go* questions —
+are discovery broadcasts hammering the links around a hot home bank? —
+this module attributes every message's flits to the mesh links its XY route
+traverses and derives per-link utilization and an M/M/1-style queueing
+estimate.
+
+Tracking walks the route (O(hops) per message), so it is opt-in:
+``NoCConfig(track_links=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..common.stats import ratio
+from .topology import Mesh2D
+
+#: A directed mesh link between two adjacent tiles.
+Link = Tuple[int, int]
+
+
+class LinkTracker:
+    """Accumulates flit counts per directed mesh link (XY routing)."""
+
+    def __init__(self, mesh: Mesh2D) -> None:
+        self.mesh = mesh
+        self._flits: Dict[Link, float] = {}
+        self._messages = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def xy_route(self, src: int, dst: int) -> List[Link]:
+        """The XY route as a list of directed links (X first, then Y)."""
+        links: List[Link] = []
+        x, y = self.mesh.coords(src)
+        dx, dy = self.mesh.coords(dst)
+        while x != dx:
+            nx = x + (1 if dx > x else -1)
+            links.append((self.mesh.tile(x, y), self.mesh.tile(nx, y)))
+            x = nx
+        while y != dy:
+            ny = y + (1 if dy > y else -1)
+            links.append((self.mesh.tile(x, y), self.mesh.tile(x, ny)))
+            y = ny
+        return links
+
+    def record(self, src: int, dst: int, flits: int) -> None:
+        """Attribute one message's flits to every link on its route."""
+        self._messages += 1
+        for link in self.xy_route(src, dst):
+            self._flits[link] = self._flits.get(link, 0.0) + flits
+
+    # -- reporting --------------------------------------------------------------
+
+    def link_flits(self) -> Dict[Link, float]:
+        """Copy of the per-link flit counts."""
+        return dict(self._flits)
+
+    def hottest_links(self, top: int = 5) -> List[Tuple[Link, float]]:
+        """The ``top`` most-used links, busiest first."""
+        ranked = sorted(self._flits.items(), key=lambda item: -item[1])
+        return ranked[:top]
+
+    def total_flit_hops(self) -> float:
+        """Sum over links == hop-weighted flits (cross-check vs the meter)."""
+        return sum(self._flits.values())
+
+    def utilization(self, link: Link, elapsed_cycles: float) -> float:
+        """Flits per cycle offered to one link (1.0 = saturated)."""
+        return ratio(self._flits.get(link, 0.0), elapsed_cycles)
+
+    def max_utilization(self, elapsed_cycles: float) -> float:
+        """Utilization of the busiest link."""
+        if not self._flits:
+            return 0.0
+        return self.utilization(max(self._flits, key=self._flits.get), elapsed_cycles)
+
+    def estimated_queueing_delay(self, link: Link, elapsed_cycles: float) -> float:
+        """M/M/1-style mean waiting estimate, in cycles per flit.
+
+        ``rho / (1 - rho)`` with utilization capped below 1; a post-hoc
+        sanity metric ("would this traffic level congest?"), not a timing
+        feedback path.
+        """
+        rho = min(self.utilization(link, elapsed_cycles), 0.99)
+        return rho / (1.0 - rho)
+
+    def heatmap(self, elapsed_cycles: float, precision: int = 2) -> str:
+        """ASCII per-tile heat: total utilization of each tile's outgoing links."""
+        outgoing: Dict[int, float] = {}
+        for (src, _dst), flits in self._flits.items():
+            outgoing[src] = outgoing.get(src, 0.0) + flits
+        lines = ["link-utilization heatmap (outgoing flits/cycle per tile)"]
+        for y in range(self.mesh.height):
+            row = []
+            for x in range(self.mesh.width):
+                tile = self.mesh.tile(x, y)
+                row.append(f"{ratio(outgoing.get(tile, 0.0), elapsed_cycles):.{precision}f}")
+            lines.append("  ".join(row))
+        return "\n".join(lines)

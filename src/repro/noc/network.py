@@ -1,0 +1,69 @@
+"""Network façade used by the protocol engine.
+
+``send`` is the single entry point: it returns the latency of one message
+and records its traffic.  ``broadcast`` models the discovery probe fan-out —
+one probe per destination tile plus the replies, with the *latency* of the
+round trip being the slowest leg (probes travel in parallel).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..common.config import NoCConfig
+from ..common.stats import StatGroup
+from .contention import LinkTracker
+from .topology import Mesh2D
+from .traffic import MessageClass, TrafficMeter, flits_of
+
+
+class Network:
+    """Hop-latency mesh network with per-class traffic metering.
+
+    With ``NoCConfig(track_links=True)`` every message's flits are also
+    attributed to the links of its XY route (see
+    :class:`~repro.noc.contention.LinkTracker`, exposed as ``links``).
+    """
+
+    def __init__(self, config: NoCConfig, stats: StatGroup) -> None:
+        self.mesh = Mesh2D(config)
+        self.traffic = TrafficMeter(stats)
+        self.links: Optional[LinkTracker] = (
+            LinkTracker(self.mesh) if config.track_links else None
+        )
+
+    def send(self, src: int, dst: int, msg_class: MessageClass) -> int:
+        """Deliver one message; returns its latency in cycles."""
+        hops = self.mesh.hops(src, dst)
+        self.traffic.record(msg_class, hops)
+        if self.links is not None:
+            self.links.record(src, dst, flits_of(msg_class))
+        return self.mesh.latency(src, dst)
+
+    def broadcast(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        probe_class: MessageClass,
+        reply_class: MessageClass,
+    ) -> Tuple[int, int]:
+        """Probe every tile in ``dsts`` and collect one reply from each.
+
+        Returns ``(round_trip_latency, fanout)``: probes are sent in
+        parallel, so the round-trip latency is that of the farthest
+        destination; traffic is recorded for every probe and every reply.
+        An empty destination set costs nothing.
+        """
+        worst = 0
+        fanout = 0
+        for dst in dsts:
+            fanout += 1
+            self.traffic.record(probe_class, self.mesh.hops(src, dst))
+            self.traffic.record(reply_class, self.mesh.hops(dst, src))
+            if self.links is not None:
+                self.links.record(src, dst, flits_of(probe_class))
+                self.links.record(dst, src, flits_of(reply_class))
+            round_trip = self.mesh.latency(src, dst) + self.mesh.latency(dst, src)
+            if round_trip > worst:
+                worst = round_trip
+        return worst, fanout

@@ -1,0 +1,107 @@
+"""2-D mesh topology: tile coordinates and minimal-route hop counts.
+
+One tile per core; LLC banks and directory slices are co-located with tiles
+(bank *b* lives on tile *b*).  Routing is dimension-ordered (XY), so the hop
+count between two tiles is their Manhattan distance — all the latency model
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..common.config import NoCConfig
+from ..common.errors import ConfigError
+
+
+class Mesh2D:
+    """Coordinate math for a ``width x height`` mesh of tiles."""
+
+    def __init__(self, config: NoCConfig) -> None:
+        self.config = config
+        self.width = config.mesh_width
+        self.height = config.mesh_height
+        # Hop counts and latencies are looked up on every message: precompute
+        # the full N x N tables once (N <= 64, so at most 4096 ints each).
+        n = self.width * self.height
+        self._hops = [
+            [
+                abs(s % self.width - d % self.width)
+                + abs(s // self.width - d // self.width)
+                for d in range(n)
+            ]
+            for s in range(n)
+        ]
+        hop, router = config.hop_cycles, config.router_cycles
+        self._latencies = [
+            [h * hop + router for h in row] for row in self._hops
+        ]
+
+    @property
+    def nodes(self) -> int:
+        """Number of tiles."""
+        return self.width * self.height
+
+    def coords(self, tile: int) -> Tuple[int, int]:
+        """(x, y) coordinates of a tile id (row-major)."""
+        if not 0 <= tile < self.nodes:
+            raise ConfigError(f"tile {tile} outside mesh of {self.nodes} nodes")
+        return tile % self.width, tile // self.width
+
+    def tile(self, x: int, y: int) -> int:
+        """Tile id at coordinates (x, y)."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ConfigError(f"coords ({x},{y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance between two tiles (XY routing)."""
+        if src < 0 or dst < 0:
+            raise ConfigError(f"negative tile id ({src}, {dst})")
+        try:
+            return self._hops[src][dst]
+        except IndexError:
+            raise ConfigError(
+                f"tile pair ({src}, {dst}) outside mesh of {self.nodes} nodes"
+            ) from None
+
+    def latency(self, src: int, dst: int) -> int:
+        """Cycles for one message: hops * hop_cycles + router overhead.
+
+        A self-send (src == dst, e.g. a core whose tile hosts the home bank)
+        still pays the router overhead once.
+        """
+        if src < 0 or dst < 0:
+            raise ConfigError(f"negative tile id ({src}, {dst})")
+        try:
+            return self._latencies[src][dst]
+        except IndexError:
+            raise ConfigError(
+                f"tile pair ({src}, {dst}) outside mesh of {self.nodes} nodes"
+            ) from None
+
+    def average_distance(self) -> float:
+        """Mean hop count over all ordered tile pairs (used in reports)."""
+        total = 0
+        for src in range(self.nodes):
+            for dst in range(self.nodes):
+                total += self.hops(src, dst)
+        return total / (self.nodes * self.nodes)
+
+    def neighbors(self, tile: int) -> List[int]:
+        """Adjacent tiles (mesh links) of ``tile``."""
+        x, y = self.coords(tile)
+        result = []
+        if x > 0:
+            result.append(self.tile(x - 1, y))
+        if x < self.width - 1:
+            result.append(self.tile(x + 1, y))
+        if y > 0:
+            result.append(self.tile(x, y - 1))
+        if y < self.height - 1:
+            result.append(self.tile(x, y + 1))
+        return result
+
+    def iter_tiles(self) -> Iterator[int]:
+        """All tile ids in order."""
+        return iter(range(self.nodes))

@@ -1,0 +1,114 @@
+"""Message classes and traffic accounting.
+
+The paper's traffic claims are message-count claims: how much extra traffic
+do discovery broadcasts add, and how much invalidation + refetch traffic does
+stashing remove.  We therefore classify every message and account both raw
+counts and hop-weighted counts (a proxy for link energy / utilization).
+
+Control messages are one flit; data-bearing messages carry a cache line and
+are weighted by ``DATA_FLITS``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+from ..common.stats import StatGroup
+
+#: Flits per data-bearing message relative to a 1-flit control message.
+DATA_FLITS = 5
+
+
+class MessageClass(str, Enum):
+    """Every message type the protocol engine can put on the network."""
+
+    REQUEST = "request"                  # core -> home: GetS/GetM/upgrade
+    DATA_RESPONSE = "data_response"      # home/owner -> core: line fill
+    CONTROL_RESPONSE = "control_response"  # acks, grant-without-data
+    FORWARD = "forward"                  # home -> owner: intervention
+    INVALIDATION = "invalidation"        # home -> sharer: invalidate
+    INV_ACK = "inv_ack"                  # sharer -> home/requester
+    WRITEBACK = "writeback"              # core -> home: dirty data (PutM)
+    WB_ACK = "wb_ack"                    # home -> core
+    EVICTION_NOTICE = "eviction_notice"  # core -> home: clean PutE/PutS (ablation A2)
+    DISCOVERY_PROBE = "discovery_probe"  # home -> all cores: find hidden copy
+    DISCOVERY_REPLY = "discovery_reply"  # core -> home: here / not-here (+data)
+    MEMORY = "memory"                    # home <-> memory controller
+
+
+#: Message classes that carry a full cache line.
+DATA_CLASSES = frozenset(
+    {
+        MessageClass.DATA_RESPONSE,
+        MessageClass.WRITEBACK,
+        MessageClass.MEMORY,
+    }
+)
+
+
+def flits_of(msg_class: MessageClass) -> int:
+    """Flit weight of one message of this class."""
+    return DATA_FLITS if msg_class in DATA_CLASSES else 1
+
+
+#: Precomputed (msgs, hops, flit_hops, flit_weight) keys per class — this is
+#: the single hottest accounting path in the simulator.
+_CLASS_KEYS = {
+    cls: (
+        f"msgs.{cls.value}",
+        f"hops.{cls.value}",
+        f"flit_hops.{cls.value}",
+        flits_of(cls),
+    )
+    for cls in MessageClass
+}
+
+
+class TrafficMeter:
+    """Accumulates per-class message, hop and flit-hop counts.
+
+    Writes straight into its :class:`~repro.common.stats.StatGroup`'s
+    counter dict (same keys :meth:`StatGroup.add` would create), so the
+    stats tree stays the single source of truth while the per-message cost
+    is a handful of dict operations.
+    """
+
+    def __init__(self, stats: StatGroup) -> None:
+        self._stats = stats
+        self._counters = stats._counters  # hot-path alias, same dict
+
+    def record(self, msg_class: MessageClass, hops: int) -> None:
+        """Account one message of ``msg_class`` traversing ``hops`` links."""
+        msgs_key, hops_key, flit_key, flits = _CLASS_KEYS[msg_class]
+        counters = self._counters
+        flit_hops = hops * flits
+        counters[msgs_key] = counters.get(msgs_key, 0.0) + 1
+        counters[hops_key] = counters.get(hops_key, 0.0) + hops
+        counters[flit_key] = counters.get(flit_key, 0.0) + flit_hops
+        counters["msgs.total"] = counters.get("msgs.total", 0.0) + 1
+        counters["flit_hops.total"] = counters.get("flit_hops.total", 0.0) + flit_hops
+
+    def messages(self, msg_class: MessageClass) -> float:
+        """Raw count of one class."""
+        return self._stats.get(f"msgs.{msg_class.value}")
+
+    def flit_hops(self, msg_class: MessageClass) -> float:
+        """Hop-weighted flits of one class."""
+        return self._stats.get(f"flit_hops.{msg_class.value}")
+
+    def total_messages(self) -> float:
+        """All messages."""
+        return self._stats.get("msgs.total")
+
+    def total_flit_hops(self) -> float:
+        """All hop-weighted flits — the headline traffic metric."""
+        return self._stats.get("flit_hops.total")
+
+    def by_class(self) -> Dict[str, float]:
+        """``{class: flit_hops}`` for reporting."""
+        return {
+            cls.value: self.flit_hops(cls)
+            for cls in MessageClass
+            if self.flit_hops(cls) > 0
+        }

@@ -1,0 +1,15 @@
+"""Trace-driven simulation: traces, system builder, simulator, results."""
+
+from .results import SimulationResult
+from .simulator import Simulator, run_trace
+from .system import build_system
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "SimulationResult",
+    "Simulator",
+    "Trace",
+    "TraceRecord",
+    "build_system",
+    "run_trace",
+]

@@ -1,0 +1,118 @@
+"""Memory-access traces: the simulator's input format.
+
+A trace is a per-core sequence of ``(byte_address, is_write)`` operations.
+Traces come from the synthetic workload generators
+(:mod:`repro.workloads`) or from files; the on-disk format is a plain CSV
+of ``core,addr,rw`` lines (``rw`` is ``R`` or ``W``, ``addr`` hex or
+decimal) so traces from external tools can be replayed too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from ..common.errors import TraceError
+
+#: One operation: (byte_address, is_write).
+Op = Tuple[int, bool]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line in record form (API convenience; hot paths use tuples)."""
+
+    core: int
+    addr: int
+    is_write: bool
+
+
+class Trace:
+    """Per-core operation streams."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise TraceError("trace needs at least one core")
+        self.num_cores = num_cores
+        self.ops: List[List[Op]] = [[] for _ in range(num_cores)]
+
+    # -- construction ------------------------------------------------------------
+
+    def append(self, core: int, addr: int, is_write: bool) -> None:
+        """Append one operation to a core's stream."""
+        if not 0 <= core < self.num_cores:
+            raise TraceError(f"core {core} outside [0, {self.num_cores})")
+        if addr < 0:
+            raise TraceError(f"negative address {addr}")
+        self.ops[core].append((addr, is_write))
+
+    @classmethod
+    def from_records(cls, num_cores: int, records: Iterable[TraceRecord]) -> "Trace":
+        """Build a trace from :class:`TraceRecord` items."""
+        trace = cls(num_cores)
+        for record in records:
+            trace.append(record.core, record.addr, record.is_write)
+        return trace
+
+    # -- file I/O ------------------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], num_cores: int) -> "Trace":
+        """Load a ``core,addr,rw`` CSV trace."""
+        trace = cls(num_cores)
+        with open(path) as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split(",")
+                if len(parts) != 3:
+                    raise TraceError(f"{path}:{lineno}: expected core,addr,rw")
+                try:
+                    core = int(parts[0])
+                    addr = int(parts[1], 0)
+                except ValueError as exc:
+                    raise TraceError(f"{path}:{lineno}: {exc}") from None
+                rw = parts[2].strip().upper()
+                if rw not in ("R", "W"):
+                    raise TraceError(f"{path}:{lineno}: rw must be R or W, got {rw!r}")
+                trace.append(core, addr, rw == "W")
+        return trace
+
+    def to_file(self, path: Union[str, Path]) -> None:
+        """Write the trace as a ``core,addr,rw`` CSV."""
+        with open(path, "w") as handle:
+            handle.write("# core,addr,rw\n")
+            for core, ops in enumerate(self.ops):
+                for addr, is_write in ops:
+                    handle.write(f"{core},{addr:#x},{'W' if is_write else 'R'}\n")
+
+    # -- inspection -------------------------------------------------------------------
+
+    def total_ops(self) -> int:
+        """Operations across all cores."""
+        return sum(len(ops) for ops in self.ops)
+
+    def core_ops(self, core: int) -> int:
+        """Operations of one core."""
+        return len(self.ops[core])
+
+    def write_fraction(self) -> float:
+        """Fraction of operations that are writes."""
+        total = self.total_ops()
+        if total == 0:
+            return 0.0
+        writes = sum(1 for ops in self.ops for _, w in ops if w)
+        return writes / total
+
+    def unique_blocks(self, block_bytes: int) -> int:
+        """Distinct cache blocks the trace touches."""
+        shift = block_bytes.bit_length() - 1
+        return len({addr >> shift for ops in self.ops for addr, _ in ops})
+
+    def iter_records(self) -> Iterator[TraceRecord]:
+        """All operations as records, core-major order."""
+        for core, ops in enumerate(self.ops):
+            for addr, is_write in ops:
+                yield TraceRecord(core, addr, is_write)

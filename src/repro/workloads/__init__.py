@@ -1,0 +1,55 @@
+"""Synthetic workload generation: primitives, patterns and the named suite."""
+
+from .characterize import TraceProfile, histogram_buckets, profile_trace
+from .patterns import (
+    false_sharing,
+    lock_contention,
+    migratory,
+    phased,
+    private_working_set,
+    producer_consumer,
+    shared_read_only,
+    streaming,
+    uniform_mix,
+)
+from .suite import (
+    EXTRA_WORKLOADS,
+    SUITE,
+    SUITE_ORDER,
+    WorkloadSpec,
+    build_workload,
+    workload_names,
+)
+from .synthetic import (
+    BlockStream,
+    PhasedStream,
+    SequentialStream,
+    UniformStream,
+    ZipfStream,
+)
+
+__all__ = [
+    "BlockStream",
+    "PhasedStream",
+    "SequentialStream",
+    "SUITE",
+    "SUITE_ORDER",
+    "TraceProfile",
+    "UniformStream",
+    "WorkloadSpec",
+    "ZipfStream",
+    "EXTRA_WORKLOADS",
+    "build_workload",
+    "false_sharing",
+    "lock_contention",
+    "histogram_buckets",
+    "migratory",
+    "phased",
+    "private_working_set",
+    "producer_consumer",
+    "profile_trace",
+    "shared_read_only",
+    "streaming",
+    "uniform_mix",
+    "workload_names",
+]

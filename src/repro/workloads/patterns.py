@@ -1,0 +1,392 @@
+"""Sharing-pattern trace generators.
+
+Each function builds a :class:`~repro.sim.trace.Trace` exhibiting one of the
+canonical many-core sharing behaviours.  The paper's workload suite
+(PARSEC/SPLASH-2) is, from the directory's point of view, a mixture of
+exactly these patterns; :mod:`repro.workloads.suite` composes them into the
+named stand-ins.
+
+Address-space layout: each core owns a **private region**; **shared
+regions** sit above all private regions.  Regions are sized in blocks and
+converted to byte addresses with the system block size.
+"""
+
+from __future__ import annotations
+
+from ..common.addr import stride_hash
+from ..common.errors import ConfigError
+from ..common.rng import DeterministicRng
+from ..sim.trace import Trace
+from .synthetic import PhasedStream, SequentialStream, ZipfStream
+
+#: Blocks reserved per private region slot (regions are spaced this far
+#: apart so different cores' private data never share a block).
+REGION_SPAN = 1 << 20
+
+#: Window for the per-region base scatter (see below); regions stay
+#: disjoint as long as a region's working set is below REGION_SPAN / 2.
+_SCATTER = REGION_SPAN // 2
+
+
+def _scatter(slot: int) -> int:
+    """Deterministic per-region base offset.
+
+    Real address spaces do not hand every core a region aligned at the same
+    large power of two; aligned bases would alias all cores' offset-k blocks
+    into the same cache/directory set and manufacture conflict pathologies
+    the paper's workloads do not have.  A hashed offset decorrelates the
+    set-index streams of different regions.
+    """
+    return stride_hash(slot + 1, 0xA11A) % _SCATTER
+
+
+def _private_base(core: int) -> int:
+    return core * REGION_SPAN + _scatter(core)
+
+
+def _shared_base(num_cores: int, region: int = 0) -> int:
+    slot = num_cores + region
+    return slot * REGION_SPAN + _scatter(slot)
+
+
+def private_working_set(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    ws_blocks: int = 256,
+    write_frac: float = 0.25,
+    zipf_alpha: float = 0.6,
+    block_bytes: int = 64,
+) -> Trace:
+    """Every core loops over its own disjoint working set (no sharing).
+
+    The directory's worst nightmare when under-provisioned: every block is
+    private, every tracked entry is stash-eligible, and conventional
+    evictions destroy perfectly good locality.
+    """
+    if not 0 <= write_frac <= 1:
+        raise ConfigError("write_frac must be in [0, 1]")
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        stream = ZipfStream(ws_blocks, crng, zipf_alpha)
+        base = _private_base(core)
+        for _ in range(ops_per_core):
+            addr = (base + stream.next()) << shift
+            trace.append(core, addr, crng.random() < write_frac)
+    return trace
+
+
+def shared_read_only(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    shared_blocks: int = 512,
+    private_blocks: int = 128,
+    shared_frac: float = 0.5,
+    write_frac: float = 0.1,
+    zipf_alpha: float = 0.7,
+    block_bytes: int = 64,
+) -> Trace:
+    """All cores read a common table; writes only touch private data.
+
+    Models lookup-table / read-mostly workloads: the shared blocks end up
+    widely shared (not stash-eligible), the private blocks dominate entry
+    count.
+    """
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    shared_base = _shared_base(num_cores)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        shared = ZipfStream(shared_blocks, crng, zipf_alpha)
+        private = ZipfStream(private_blocks, crng.spawn(1), zipf_alpha)
+        base = _private_base(core)
+        for _ in range(ops_per_core):
+            if crng.random() < shared_frac:
+                addr = (shared_base + shared.next()) << shift
+                trace.append(core, addr, False)
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < write_frac)
+    return trace
+
+
+def producer_consumer(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    buffer_blocks: int = 64,
+    private_blocks: int = 128,
+    comm_frac: float = 0.3,
+    block_bytes: int = 64,
+) -> Trace:
+    """Neighbouring core pairs exchange data through per-pair buffers.
+
+    Core ``2k`` writes buffer ``k``; core ``2k+1`` reads it (and vice versa
+    on the return buffer).  The buffer blocks migrate M -> S repeatedly —
+    tracked, two-sharer entries that stashing must leave alone.
+    """
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        pair = core // 2
+        is_producer = core % 2 == 0
+        buf_base = _shared_base(num_cores, region=pair)
+        buf = SequentialStream(buffer_blocks)
+        private = ZipfStream(private_blocks, crng, 0.6)
+        base = _private_base(core)
+        for _ in range(ops_per_core):
+            if crng.random() < comm_frac:
+                addr = (buf_base + buf.next()) << shift
+                trace.append(core, addr, is_producer)
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < 0.2)
+    return trace
+
+
+def migratory(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    migratory_blocks: int = 128,
+    private_blocks: int = 128,
+    migratory_frac: float = 0.3,
+    burst: int = 8,
+    block_bytes: int = 64,
+) -> Trace:
+    """Migratory sharing: shared objects are read-then-written by one core
+    at a time (locks, reduction variables, work-queue items).
+
+    Each touched migratory block gets a read followed by a write, so
+    ownership hops core to core — entries stay private-at-a-time, which is
+    exactly the case the stash directory exploits even for "shared" data.
+    """
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    mig_base = _shared_base(num_cores)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        mig = ZipfStream(migratory_blocks, crng, 0.5)
+        private = ZipfStream(private_blocks, crng.spawn(1), 0.6)
+        base = _private_base(core)
+        ops_emitted = 0
+        while ops_emitted < ops_per_core:
+            if crng.random() < migratory_frac:
+                block = mig.next()
+                addr = (mig_base + block) << shift
+                # Read-modify-write bursts on the migratory object.
+                for _ in range(min(burst, ops_per_core - ops_emitted)):
+                    trace.append(core, addr, ops_emitted % 2 == 1)
+                    ops_emitted += 1
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < 0.2)
+                ops_emitted += 1
+    return trace
+
+
+def streaming(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    stream_blocks: int = 4096,
+    write_frac: float = 0.4,
+    block_bytes: int = 64,
+) -> Trace:
+    """Each core streams sequentially over a large private array once-ish.
+
+    Low reuse: blocks enter the L1, age out, never return.  Directory
+    entries churn but invalidating them rarely hurts (the copy was dead
+    anyway) — the pattern where stashing helps least.
+    """
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        stream = SequentialStream(stream_blocks)
+        base = _private_base(core)
+        for _ in range(ops_per_core):
+            addr = (base + stream.next()) << shift
+            trace.append(core, addr, crng.random() < write_frac)
+    return trace
+
+
+def uniform_mix(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    private_blocks: int = 256,
+    shared_blocks: int = 256,
+    shared_frac: float = 0.2,
+    shared_write_frac: float = 0.3,
+    private_write_frac: float = 0.25,
+    block_bytes: int = 64,
+) -> Trace:
+    """General-purpose mix: private Zipf traffic plus read-write sharing."""
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    shared_base = _shared_base(num_cores)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        shared = ZipfStream(shared_blocks, crng, 0.8)
+        private = ZipfStream(private_blocks, crng.spawn(1), 0.6)
+        base = _private_base(core)
+        for _ in range(ops_per_core):
+            if crng.random() < shared_frac:
+                addr = (shared_base + shared.next()) << shift
+                trace.append(core, addr, crng.random() < shared_write_frac)
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < private_write_frac)
+    return trace
+
+
+def false_sharing(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    hot_blocks: int = 16,
+    fs_frac: float = 0.3,
+    private_blocks: int = 128,
+    block_bytes: int = 64,
+) -> Trace:
+    """False sharing: cores write *different words* of the same cache lines.
+
+    Each core owns one word slot (core * 8 bytes, wrapped) inside a small
+    set of hot blocks.  At block granularity the lines ping-pong in M state
+    between writers even though no datum is actually shared — the classic
+    pathology.  For the directory these lines are multi-sharer and never
+    stash-eligible, so this pattern bounds how much of a workload stashing
+    can help.
+    """
+    if not 0 <= fs_frac <= 1:
+        raise ConfigError("fs_frac must be in [0, 1]")
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    hot_base = _shared_base(num_cores)
+    words_per_block = max(1, block_bytes // 8)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        hot = ZipfStream(hot_blocks, crng, 0.5)
+        private = ZipfStream(private_blocks, crng.spawn(1), 0.6)
+        base = _private_base(core)
+        word_offset = (core % words_per_block) * 8
+        for _ in range(ops_per_core):
+            if crng.random() < fs_frac:
+                addr = (((hot_base + hot.next()) << shift) + word_offset)
+                trace.append(core, addr, True)
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < 0.2)
+    return trace
+
+
+def lock_contention(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    num_locks: int = 4,
+    guarded_blocks: int = 32,
+    lock_frac: float = 0.2,
+    spin_reads: int = 4,
+    private_blocks: int = 128,
+    block_bytes: int = 64,
+) -> Trace:
+    """Lock contention: spin-read a lock line, write to acquire, touch the
+    guarded data, write to release.
+
+    Lock lines migrate read->write between cores (heavily shared, never
+    stash-eligible); the guarded data behaves migratory.  Exercises the mix
+    of upgrade misses, forwards and invalidations around synchronization.
+    """
+    if not 0 <= lock_frac <= 1:
+        raise ConfigError("lock_frac must be in [0, 1]")
+    if spin_reads < 0:
+        raise ConfigError("spin_reads must be non-negative")
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    lock_base = _shared_base(num_cores, region=0)
+    data_base = _shared_base(num_cores, region=1)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        private = ZipfStream(private_blocks, crng.spawn(1), 0.6)
+        base = _private_base(core)
+        emitted = 0
+        while emitted < ops_per_core:
+            if crng.random() < lock_frac:
+                lock = crng.randint(0, num_locks - 1)
+                lock_addr = (lock_base + lock) << shift
+                budget = ops_per_core - emitted
+                # Spin (reads), acquire (write), critical section, release.
+                section = []
+                section.extend((lock_addr, False) for _ in range(spin_reads))
+                section.append((lock_addr, True))
+                data = (data_base + lock * (guarded_blocks // max(1, num_locks))
+                        + crng.randint(0, max(0, guarded_blocks // max(1, num_locks) - 1)))
+                section.append(((data << shift), False))
+                section.append(((data << shift), True))
+                section.append((lock_addr, True))
+                for addr, is_write in section[:budget]:
+                    trace.append(core, addr, is_write)
+                    emitted += 1
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < 0.2)
+                emitted += 1
+    return trace
+
+
+def phased(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    compute_blocks: int = 192,
+    exchange_blocks: int = 64,
+    compute_len: int = 64,
+    exchange_len: int = 16,
+    block_bytes: int = 64,
+) -> Trace:
+    """Bulk-synchronous phase behaviour: compute on private data, then
+    exchange through a shared region, repeat.
+
+    Built on :class:`~repro.workloads.synthetic.PhasedStream`.  During
+    compute phases the directory sees pure private traffic (stash heaven);
+    each exchange phase makes a burst of blocks briefly shared, churning
+    entries between private and shared states — the phase boundaries are
+    where eviction policy choices matter most.
+    """
+    if compute_len < 1 or exchange_len < 1:
+        raise ConfigError("phase lengths must be >= 1")
+    trace = Trace(num_cores)
+    shift = block_bytes.bit_length() - 1
+    shared_base = _shared_base(num_cores)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        compute = ZipfStream(compute_blocks, crng, 0.6)
+        exchange = SequentialStream(exchange_blocks)
+        stream = PhasedStream(compute, exchange, compute_len, exchange_len)
+        base = _private_base(core)
+        for _ in range(ops_per_core):
+            in_compute = stream.in_primary()
+            block = stream.next()
+            if in_compute:
+                addr = (base + block) << shift
+                trace.append(core, addr, crng.random() < 0.3)
+            else:
+                addr = (shared_base + block) << shift
+                # Exchange: half the cores write their slice, half read.
+                trace.append(core, addr, core % 2 == 0)
+    return trace

@@ -1,0 +1,206 @@
+"""The named workload suite — stand-ins for the paper's benchmarks.
+
+The paper evaluates on PARSEC and SPLASH-2 binaries, which cannot ship
+here; per DESIGN.md's substitution table each stand-in reproduces the
+*directory-relevant* behaviour of one benchmark class: its private-block
+fraction, sharing pattern, write intensity and working-set pressure.  The
+names carry a ``-like`` suffix to keep the substitution honest.
+
+Suffix guide (what each stand-in stresses):
+
+==================  =============================================================
+name                directory behaviour modelled
+==================  =============================================================
+blackscholes-like   embarrassingly parallel, almost all private, modest WS
+swaptions-like      private-heavy, tiny working set (low directory pressure)
+bodytrack-like      read-mostly shared model data + private scratch
+fluidanimate-like   neighbour (producer/consumer) communication
+canneal-like        huge working set, low locality — heavy capacity pressure
+barnes-like         migratory bodies + read-shared tree
+ocean-like          streaming private grids + boundary exchange
+radix-like          streaming with high write fraction (permutation phase)
+mix                 four groups of cores running different patterns
+==================  =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..common.errors import ConfigError
+from ..common.rng import DeterministicRng
+from ..sim.trace import Trace
+from . import patterns
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One named workload: a pattern builder plus its parameters."""
+
+    name: str
+    description: str
+    builder: Callable[..., Trace]
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def build(
+        self,
+        num_cores: int,
+        ops_per_core: int,
+        seed: int,
+        block_bytes: int = 64,
+    ) -> Trace:
+        """Generate the trace for a concrete system size."""
+        rng = DeterministicRng(seed)
+        return self.builder(
+            num_cores,
+            ops_per_core,
+            rng,
+            block_bytes=block_bytes,
+            **self.params,
+        )
+
+
+def _mix(num_cores, ops_per_core, rng, *, block_bytes=64) -> Trace:
+    """Four core groups each running a different pattern, merged."""
+    quarter = max(1, num_cores // 4)
+    sub_traces = [
+        patterns.private_working_set(
+            num_cores, ops_per_core, rng.spawn(1), block_bytes=block_bytes
+        ),
+        patterns.shared_read_only(
+            num_cores, ops_per_core, rng.spawn(2), block_bytes=block_bytes
+        ),
+        patterns.producer_consumer(
+            num_cores, ops_per_core, rng.spawn(3), block_bytes=block_bytes
+        ),
+        patterns.migratory(
+            num_cores, ops_per_core, rng.spawn(4), block_bytes=block_bytes
+        ),
+    ]
+    trace = Trace(num_cores)
+    for core in range(num_cores):
+        source = sub_traces[min(core // quarter, 3)]
+        trace.ops[core] = source.ops[core]
+    return trace
+
+
+SUITE: Dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in [
+        WorkloadSpec(
+            "blackscholes-like",
+            "embarrassingly parallel option pricing: ~97% private accesses",
+            patterns.private_working_set,
+            {"ws_blocks": 320, "write_frac": 0.2, "zipf_alpha": 0.5},
+        ),
+        WorkloadSpec(
+            "swaptions-like",
+            "private-heavy with a small hot working set",
+            patterns.private_working_set,
+            {"ws_blocks": 96, "write_frac": 0.3, "zipf_alpha": 0.8},
+        ),
+        WorkloadSpec(
+            "bodytrack-like",
+            "read-mostly shared model data plus private scratch space",
+            patterns.shared_read_only,
+            {"shared_blocks": 384, "private_blocks": 192, "shared_frac": 0.35},
+        ),
+        WorkloadSpec(
+            "fluidanimate-like",
+            "neighbour communication between adjacent cores",
+            patterns.producer_consumer,
+            {"buffer_blocks": 48, "private_blocks": 224, "comm_frac": 0.25},
+        ),
+        WorkloadSpec(
+            "canneal-like",
+            "huge low-locality working set: maximum capacity pressure",
+            patterns.private_working_set,
+            {"ws_blocks": 1024, "write_frac": 0.3, "zipf_alpha": 0.3},
+        ),
+        WorkloadSpec(
+            "barnes-like",
+            "migratory bodies with read-shared tree structure",
+            patterns.migratory,
+            {"migratory_blocks": 96, "private_blocks": 192, "migratory_frac": 0.25},
+        ),
+        WorkloadSpec(
+            "ocean-like",
+            "streaming private grids with boundary exchange",
+            patterns.streaming,
+            {"stream_blocks": 1536, "write_frac": 0.35},
+        ),
+        WorkloadSpec(
+            "radix-like",
+            "streaming sort with a write-heavy permutation phase",
+            patterns.streaming,
+            {"stream_blocks": 768, "write_frac": 0.55},
+        ),
+        WorkloadSpec(
+            "mix",
+            "heterogeneous: private / read-shared / producer-consumer / migratory",
+            _mix,
+            {},
+        ),
+        # Extra stress workloads beyond the paper's suite (not part of the
+        # default evaluation order; see EXTRA_WORKLOADS).
+        WorkloadSpec(
+            "falseshare-like",
+            "false sharing: cores write different words of the same lines",
+            patterns.false_sharing,
+            {"hot_blocks": 16, "fs_frac": 0.3},
+        ),
+        WorkloadSpec(
+            "phased-like",
+            "bulk-synchronous: private compute phases + shared exchange bursts",
+            patterns.phased,
+            {"compute_blocks": 192, "exchange_blocks": 64},
+        ),
+        WorkloadSpec(
+            "locks-like",
+            "lock contention: spin-read, acquire, critical section, release",
+            patterns.lock_contention,
+            {"num_locks": 4, "lock_frac": 0.2},
+        ),
+    ]
+}
+
+#: The default evaluation order (private-heavy -> heavily-shared -> mix).
+SUITE_ORDER: List[str] = [
+    "blackscholes-like",
+    "swaptions-like",
+    "bodytrack-like",
+    "fluidanimate-like",
+    "canneal-like",
+    "barnes-like",
+    "ocean-like",
+    "radix-like",
+    "mix",
+]
+
+
+#: Stress workloads available beyond the paper-style evaluation order.
+EXTRA_WORKLOADS: List[str] = ["falseshare-like", "locks-like", "phased-like"]
+
+
+def workload_names() -> List[str]:
+    """Names accepted by :func:`build_workload`: the evaluation order plus
+    the extra stress workloads."""
+    return list(SUITE_ORDER) + list(EXTRA_WORKLOADS)
+
+
+def build_workload(
+    name: str,
+    num_cores: int,
+    ops_per_core: int,
+    seed: int = 1,
+    block_bytes: int = 64,
+) -> Trace:
+    """Generate a named suite workload."""
+    try:
+        spec = SUITE[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown workload {name!r}; known: {workload_names()}"
+        ) from None
+    return spec.build(num_cores, ops_per_core, seed, block_bytes)

@@ -1,0 +1,95 @@
+"""Unit tests for result serialization and comparison."""
+
+import pytest
+
+from repro.analysis.io import (
+    compare_results,
+    config_from_dict,
+    config_to_dict,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.common.config import DirectoryKind, MemoryModel, SharerFormat
+from repro.common.errors import TraceError
+from repro.sim.simulator import run_trace
+from repro.sim.trace import Trace
+from tests.conftest import tiny_config
+
+
+def small_result(kind=DirectoryKind.STASH):
+    trace = Trace(4)
+    for i in range(40):
+        trace.append(i % 4, i * 64, i % 3 == 0)
+    return run_trace(tiny_config(kind, check_invariants=False), trace)
+
+
+class TestConfigRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        config = tiny_config(
+            DirectoryKind.CUCKOO,
+            ratio=0.25,
+            sharer_format=SharerFormat.LIMITED_POINTER,
+            clean_eviction_notification=True,
+        )
+        back = config_from_dict(config_to_dict(config))
+        assert back == config
+
+    def test_enums_survive(self):
+        from dataclasses import replace
+
+        config = replace(tiny_config(), memory_model=MemoryModel.DRAM)
+        back = config_from_dict(config_to_dict(config))
+        assert back.memory_model is MemoryModel.DRAM
+        assert back.directory.kind is DirectoryKind.STASH
+
+    def test_dict_is_json_plain(self):
+        import json
+
+        json.dumps(config_to_dict(tiny_config()))  # must not raise
+
+
+class TestResultRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        result = small_result()
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.execution_time == result.execution_time
+        assert loaded.stats == result.stats
+        assert loaded.config == result.config
+        assert loaded.effective_tracking_samples == result.effective_tracking_samples
+
+    def test_derived_metrics_survive(self, tmp_path):
+        result = small_result()
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        loaded = load_result(path)
+        assert loaded.l1_miss_rate == result.l1_miss_rate
+        assert loaded.total_flit_hops == result.total_flit_hops
+
+    def test_bad_version_rejected(self):
+        data = result_to_dict(small_result())
+        data["format_version"] = 99
+        with pytest.raises(TraceError):
+            result_from_dict(data)
+
+
+class TestCompare:
+    def test_compare_table(self):
+        stash = small_result(DirectoryKind.STASH)
+        sparse = small_result(DirectoryKind.SPARSE)
+        text = compare_results({"sparse": sparse, "stash": stash})
+        assert "sparse" in text and "stash" in text
+        assert "norm. time" in text
+
+    def test_first_entry_is_baseline(self):
+        result = small_result()
+        text = compare_results({"base": result, "same": result})
+        # Both rows normalized against "base": time columns read 1.000.
+        assert text.count("1.000") >= 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            compare_results({})

@@ -1,0 +1,49 @@
+"""Unit tests for table rendering."""
+
+from repro.analysis.tables import format_cell, render_kv, render_table
+
+
+class TestFormatCell:
+    def test_strings_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_ints(self):
+        assert format_cell(42) == "42"
+
+    def test_floats_fixed_precision(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_large_floats_compact(self):
+        assert format_cell(123456.0) == "1.23e+05"
+
+    def test_tiny_floats_compact(self):
+        assert "e" in format_cell(0.000012)
+
+    def test_nan_rendered_as_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "True"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0.000"
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(["name", "x"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title_included(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.startswith("My Table\n========")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_render_kv(self):
+        text = render_kv([("cores", "16"), ("mesh", "4x4")])
+        assert "cores" in text and "4x4" in text

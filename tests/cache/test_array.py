@@ -1,0 +1,171 @@
+"""Unit + property tests for the generic set-associative array."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import CacheArray
+from repro.common.config import CacheConfig
+from repro.common.errors import ProtocolError
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+
+
+def make_array(sets=4, ways=2, replacement="lru"):
+    return CacheArray(
+        CacheConfig(sets=sets, ways=ways, replacement=replacement),
+        DeterministicRng(1),
+        StatGroup("array"),
+    )
+
+
+class TestLookupAllocate:
+    def test_miss_then_hit(self):
+        array = make_array()
+        assert array.lookup(10) is None
+        array.allocate(10, state=1)
+        block = array.lookup(10)
+        assert block is not None
+        assert block.addr == 10
+
+    def test_allocate_returns_no_victim_when_room(self):
+        array = make_array()
+        _, evicted = array.allocate(10, state=1)
+        assert evicted is None
+
+    def test_double_allocate_rejected(self):
+        array = make_array()
+        array.allocate(10, state=1)
+        with pytest.raises(ProtocolError):
+            array.allocate(10, state=1)
+
+    def test_contains_no_touch(self):
+        array = make_array()
+        array.allocate(10, state=1)
+        assert array.contains(10)
+        assert not array.contains(11)
+
+
+class TestEviction:
+    def test_conflict_evicts_lru(self):
+        array = make_array(sets=1, ways=2)
+        array.allocate(0, state=1)
+        array.allocate(1, state=1)
+        array.lookup(0)  # 1 becomes LRU
+        _, evicted = array.allocate(2, state=1)
+        assert evicted is not None
+        assert evicted.addr == 1
+        assert array.lookup(1) is None
+        assert array.lookup(0) is not None
+
+    def test_peek_matches_actual_victim(self):
+        array = make_array(sets=1, ways=4)
+        for addr in range(4):
+            array.allocate(addr, state=1)
+        array.lookup(0)
+        peeked = array.peek_victim(99)
+        _, evicted = array.allocate(99, state=1)
+        assert peeked is evicted
+
+    def test_peek_none_when_room(self):
+        array = make_array(sets=1, ways=2)
+        array.allocate(0, state=1)
+        assert array.peek_victim(1) is None
+
+    def test_peek_on_present_block_rejected(self):
+        array = make_array()
+        array.allocate(3, state=1)
+        with pytest.raises(ProtocolError):
+            array.peek_victim(3)
+
+    def test_different_sets_do_not_conflict(self):
+        array = make_array(sets=4, ways=1)
+        for addr in range(4):  # each maps to its own set
+            _, evicted = array.allocate(addr, state=1)
+            assert evicted is None
+
+
+class TestRemove:
+    def test_remove_returns_block(self):
+        array = make_array()
+        array.allocate(5, state=2)
+        removed = array.remove(5)
+        assert removed.addr == 5
+        assert array.lookup(5) is None
+
+    def test_remove_absent_is_none(self):
+        assert make_array().remove(5) is None
+
+    def test_removed_way_reused(self):
+        array = make_array(sets=1, ways=1)
+        array.allocate(0, state=1)
+        array.remove(0)
+        _, evicted = array.allocate(1, state=1)
+        assert evicted is None
+
+
+class TestInspection:
+    def test_occupancy_counts(self):
+        array = make_array(sets=4, ways=2)
+        assert array.occupancy() == 0
+        array.allocate(0, state=1)
+        array.allocate(1, state=1)
+        assert array.occupancy() == 2
+        array.remove(0)
+        assert array.occupancy() == 1
+
+    def test_iter_blocks_yields_all(self):
+        array = make_array(sets=4, ways=2)
+        for addr in (0, 1, 4, 5):
+            array.allocate(addr, state=1)
+        assert {b.addr for b in array.iter_blocks()} == {0, 1, 4, 5}
+
+    def test_set_occupancy(self):
+        array = make_array(sets=4, ways=2)
+        array.allocate(0, state=1)
+        array.allocate(4, state=1)  # same set as 0
+        assert array.set_occupancy(0) == 2
+        assert array.set_occupancy(1) == 0
+
+    def test_stats_recorded(self):
+        stats = StatGroup("array")
+        array = CacheArray(CacheConfig(sets=1, ways=1), DeterministicRng(1), stats)
+        array.allocate(0, state=1)
+        array.allocate(1, state=1)
+        array.remove(1)
+        assert stats.get("fills") == 2
+        assert stats.get("evictions") == 1
+        assert stats.get("removals") == 1
+
+
+@settings(max_examples=50)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "remove", "lookup"]), st.integers(0, 30)),
+        max_size=80,
+    ),
+    replacement=st.sampled_from(["lru", "plru", "nru", "srrip", "random"]),
+)
+def test_property_model_equivalence(ops, replacement):
+    """The array behaves like a bounded map: presence matches a model that
+    tracks fills/removals, and per-set occupancy never exceeds ways."""
+    array = make_array(sets=2, ways=2, replacement=replacement)
+    model = set()
+    for op, addr in ops:
+        if op == "alloc":
+            if addr in model:
+                continue
+            _, evicted = array.allocate(addr, state=1)
+            if evicted is not None:
+                model.discard(evicted.addr)
+            model.add(addr)
+        elif op == "remove":
+            removed = array.remove(addr)
+            assert (removed is not None) == (addr in model)
+            model.discard(addr)
+        else:
+            assert (array.lookup(addr) is not None) == (addr in model)
+    assert {b.addr for b in array.iter_blocks()} == model
+    assert array.occupancy() == len(model)
+    for addr in range(31):
+        assert array.set_occupancy(addr) <= 2

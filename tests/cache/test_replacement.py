@@ -1,0 +1,159 @@
+"""Unit + property tests for the replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.cache.replacement import (
+    LruPolicy,
+    NruPolicy,
+    RandomPolicy,
+    SrripPolicy,
+    TreePlruPolicy,
+    make_policy,
+    policy_names,
+)
+
+ALL_NAMES = ["lru", "plru", "nru", "srrip", "random"]
+
+
+class TestFactory:
+    def test_names_listed(self):
+        assert set(policy_names()) == set(ALL_NAMES)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_make_each(self, name):
+        policy = make_policy(name, 4, DeterministicRng(1))
+        policy.on_fill(0)
+        assert 0 <= policy.victim() < 4
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("belady", 4, DeterministicRng(1))
+
+    def test_zero_ways_rejected(self):
+        with pytest.raises(ConfigError):
+            LruPolicy(0)
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        lru = LruPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        lru.on_access(0)  # 1 is now least recent
+        assert lru.victim() == 1
+
+    def test_stack_order(self):
+        lru = LruPolicy(3)
+        for way in (0, 1, 2):
+            lru.on_fill(way)
+        lru.on_access(0)
+        lru.on_access(1)
+        assert lru.victim() == 2
+
+    def test_restricted_candidates(self):
+        lru = LruPolicy(4)
+        for way in range(4):
+            lru.on_fill(way)
+        lru.on_access(0)
+        # 1 is global LRU, but restricted to {2, 3} it must pick 2.
+        assert lru.victim([2, 3]) == 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=8, max_size=60))
+    def test_victim_never_most_recent(self, accesses):
+        lru = LruPolicy(8)
+        for way in range(8):
+            lru.on_fill(way)
+        for way in accesses:
+            lru.on_access(way)
+        assert lru.victim() != accesses[-1]
+
+
+class TestTreePlru:
+    def test_victim_avoids_recent(self):
+        plru = TreePlruPolicy(4)
+        for way in range(4):
+            plru.on_fill(way)
+        plru.on_access(2)
+        assert plru.victim() != 2
+
+    def test_non_power_of_two_ways(self):
+        plru = TreePlruPolicy(3)
+        for way in range(3):
+            plru.on_fill(way)
+        assert 0 <= plru.victim() < 3
+
+    def test_restricted_candidates_honored(self):
+        plru = TreePlruPolicy(4)
+        for way in range(4):
+            plru.on_fill(way)
+        assert plru.victim([1]) == 1
+
+
+class TestNru:
+    def test_prefers_unreferenced(self):
+        nru = NruPolicy(4)
+        for way in range(4):
+            nru.on_fill(way)
+        # All filled -> all referenced -> bulk clear keeps only last.
+        assert nru.victim() != 3
+
+    def test_bulk_clear_on_saturation(self):
+        nru = NruPolicy(2)
+        nru.on_access(0)
+        nru.on_access(1)  # saturates: clears, keeps 1
+        assert nru.victim() == 0
+
+
+class TestSrrip:
+    def test_hit_promotes(self):
+        srrip = SrripPolicy(4)
+        for way in range(4):
+            srrip.on_fill(way)
+        srrip.on_access(1)
+        assert srrip.victim() != 1
+
+    def test_ages_until_victim_found(self):
+        srrip = SrripPolicy(2)
+        srrip.on_access(0)
+        srrip.on_access(1)
+        assert srrip.victim() in (0, 1)  # aging loop terminates
+
+    def test_restricted_candidates(self):
+        srrip = SrripPolicy(4)
+        for way in range(4):
+            srrip.on_fill(way)
+        srrip.on_access(0)
+        assert srrip.victim([0, 2]) in (0, 2)
+
+
+class TestRandom:
+    def test_uniformish_and_in_range(self):
+        policy = RandomPolicy(4, DeterministicRng(3))
+        picks = {policy.victim() for _ in range(100)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_respects_candidates(self):
+        policy = RandomPolicy(8, DeterministicRng(3))
+        for _ in range(50):
+            assert policy.victim([2, 5]) in (2, 5)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+@settings(max_examples=25)
+@given(data=st.data())
+def test_property_victim_always_valid(name, data):
+    """Any access history: victim stays in range / in candidates."""
+    policy = make_policy(name, 4, DeterministicRng(11))
+    for way in range(4):
+        policy.on_fill(way)
+    for way in data.draw(st.lists(st.integers(0, 3), max_size=30)):
+        policy.on_access(way)
+    assert 0 <= policy.victim() < 4
+    candidates = data.draw(
+        st.lists(st.integers(0, 3), min_size=1, max_size=4, unique=True)
+    )
+    assert policy.victim(candidates) in candidates

@@ -1,0 +1,47 @@
+"""Unit tests for the optional home-bank contention model."""
+
+from dataclasses import replace
+
+from repro.common.config import DirectoryKind, TimingConfig
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+def contended_config(occupancy=50):
+    config = tiny_config(DirectoryKind.STASH, ratio=2.0)
+    return replace(config, timing=TimingConfig(home_occupancy=occupancy))
+
+
+class TestHomeContention:
+    def test_disabled_by_default(self):
+        system = build_system(tiny_config())
+        for core in range(4):
+            system.access(core, 0x100 + core * 4, is_write=False, now=0.0)
+        assert system.stats.child("protocol").get("home_bank_waits") == 0
+
+    def test_same_bank_same_time_queues(self):
+        system = build_system(contended_config(occupancy=50))
+        # Blocks 0 and 4 share home bank 0 (4 banks); both arrive at t=0.
+        first = system.access(0, 0, is_write=False, now=0.0)
+        second = system.access(1, 4, is_write=False, now=0.0)
+        assert second > first - 50  # second waited out the occupancy
+        assert system.stats.child("protocol").get("home_bank_waits") == 1
+        assert system.stats.child("protocol").get("home_bank_wait_cycles") == 50
+
+    def test_different_banks_no_wait(self):
+        system = build_system(contended_config(occupancy=50))
+        system.access(0, 0, is_write=False, now=0.0)  # bank 0
+        system.access(1, 1, is_write=False, now=0.0)  # bank 1
+        assert system.stats.child("protocol").get("home_bank_waits") == 0
+
+    def test_late_arrival_no_wait(self):
+        system = build_system(contended_config(occupancy=50))
+        system.access(0, 0, is_write=False, now=0.0)
+        system.access(1, 4, is_write=False, now=1000.0)  # bank free again
+        assert system.stats.child("protocol").get("home_bank_waits") == 0
+
+    def test_invariants_hold_under_contention(self):
+        system = build_system(contended_config(occupancy=10))
+        for i in range(300):
+            system.access(i % 4, (i * 7) % 32, is_write=i % 3 == 0, now=float(i))
+        system.check_invariants()

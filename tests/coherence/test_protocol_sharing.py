@@ -1,0 +1,126 @@
+"""Multi-core sharing flows: forwards, downgrades, invalidations, upgrades."""
+
+import pytest
+
+from repro.common.config import DirectoryKind
+from repro.common.mesi import MesiState
+from repro.noc.traffic import MessageClass
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(params=[DirectoryKind.SPARSE, DirectoryKind.STASH])
+def system(request):
+    return build_system(tiny_config(request.param, ratio=2.0))
+
+
+class TestReadSharing:
+    def test_second_reader_downgrades_exclusive_owner(self, system):
+        system.access(0, 0x100, is_write=False)  # core 0: E
+        system.access(1, 0x100, is_write=False)  # core 1 reads
+        assert system.l1s[0].state_of(0x100) is MesiState.SHARED
+        assert system.l1s[1].state_of(0x100) is MesiState.SHARED
+        system.check_invariants()
+
+    def test_directory_lists_both_sharers(self, system):
+        system.access(0, 0x100, is_write=False)
+        system.access(1, 0x100, is_write=False)
+        entry = system.directory.lookup(0x100, touch=False)
+        assert entry.owner is None
+        assert entry.believed == {0, 1}
+
+    def test_forward_message_sent(self, system):
+        system.access(0, 0x100, is_write=False)
+        before = system.network.traffic.messages(MessageClass.FORWARD)
+        system.access(1, 0x100, is_write=False)
+        assert system.network.traffic.messages(MessageClass.FORWARD) == before + 1
+
+    def test_third_reader_served_from_llc(self, system):
+        for core in (0, 1, 2):
+            system.access(core, 0x100, is_write=False)
+        entry = system.directory.lookup(0x100, touch=False)
+        assert entry.believed == {0, 1, 2}
+        assert system.memory.reads() == 1  # one cold fetch only
+        system.check_invariants()
+
+
+class TestDirtySharing:
+    def test_reader_gets_dirty_data_from_owner(self, system):
+        system.access(0, 0x100, is_write=True)   # core 0: M
+        system.access(1, 0x100, is_write=False)  # core 1 reads dirty block
+        assert system.l1s[0].state_of(0x100) is MesiState.SHARED
+        assert system.l1s[1].state_of(0x100) is MesiState.SHARED
+        # Owner's writeback refreshed the LLC.
+        assert system.llc.probe(0x100, touch=False).dirty
+        system.check_invariants()
+
+    def test_data_value_propagates(self, system):
+        system.access(0, 0x100, is_write=True)
+        system.access(1, 0x100, is_write=False)
+        v0 = system.l1s[0].probe(0x100, touch=False).version
+        v1 = system.l1s[1].probe(0x100, touch=False).version
+        assert v0 == v1 == system.home.latest_version[0x100]
+
+
+class TestWriteInvalidation:
+    def test_write_invalidates_all_sharers(self, system):
+        for core in (0, 1, 2):
+            system.access(core, 0x100, is_write=False)
+        system.access(3, 0x100, is_write=True)
+        for core in (0, 1, 2):
+            assert system.l1s[core].state_of(0x100) is MesiState.INVALID
+        assert system.l1s[3].state_of(0x100) is MesiState.MODIFIED
+        system.check_invariants()
+
+    def test_write_steals_modified_ownership(self, system):
+        system.access(0, 0x100, is_write=True)
+        system.access(1, 0x100, is_write=True)
+        assert system.l1s[0].state_of(0x100) is MesiState.INVALID
+        assert system.l1s[1].state_of(0x100) is MesiState.MODIFIED
+        entry = system.directory.lookup(0x100, touch=False)
+        assert entry.owner == 1
+        system.check_invariants()
+
+    def test_ping_pong_versions_monotonic(self, system):
+        versions = []
+        for i in range(6):
+            core = i % 2
+            system.access(core, 0x100, is_write=True)
+            versions.append(system.home.latest_version[0x100])
+        assert versions == sorted(versions)
+        assert len(set(versions)) == 6
+        system.check_invariants()
+
+
+class TestUpgrade:
+    def test_upgrade_from_shared(self, system):
+        system.access(0, 0x100, is_write=False)
+        system.access(1, 0x100, is_write=False)
+        system.access(0, 0x100, is_write=True)  # S -> M upgrade
+        assert system.l1s[0].state_of(0x100) is MesiState.MODIFIED
+        assert system.l1s[1].state_of(0x100) is MesiState.INVALID
+        system.check_invariants()
+
+    def test_upgrade_counted(self, system):
+        system.access(0, 0x100, is_write=False)
+        system.access(1, 0x100, is_write=False)
+        system.access(0, 0x100, is_write=True)
+        assert system.stats.child("protocol").get("upgrade_misses") == 1
+        assert system.stats.child("protocol").get("upgrade_requests") == 1
+
+    def test_upgrade_grants_without_data(self, system):
+        system.access(0, 0x100, is_write=False)
+        system.access(1, 0x100, is_write=False)
+        data_before = system.network.traffic.messages(MessageClass.DATA_RESPONSE)
+        system.access(0, 0x100, is_write=True)
+        assert system.network.traffic.messages(MessageClass.DATA_RESPONSE) == data_before
+
+
+class TestReadAfterWrite:
+    def test_every_reader_sees_last_write(self, system):
+        system.access(2, 0x200, is_write=True)
+        latest = system.home.latest_version[0x200]
+        for core in (0, 1, 3):
+            system.access(core, 0x200, is_write=False)
+            assert system.l1s[core].probe(0x200, touch=False).version == latest
+        system.check_invariants()

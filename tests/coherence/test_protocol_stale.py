@@ -1,0 +1,116 @@
+"""Staleness paths: silent clean evictions leave the directory's beliefs
+behind reality, and the protocol must cope on every flow.
+
+System under test: 4 cores, single-set 2-way L1s (easy to force silent
+evictions), over-provisioned directory (no conflict evictions interfere).
+"""
+
+import pytest
+
+from repro.common.config import DirectoryKind
+from repro.common.mesi import MesiState
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+@pytest.fixture(params=[DirectoryKind.SPARSE, DirectoryKind.STASH])
+def system(request):
+    return build_system(
+        tiny_config(request.param, ratio=4.0, l1_sets=1, l1_ways=2)
+    )
+
+
+def silently_evict(system, core, addr, fillers):
+    """Read filler blocks until ``addr`` leaves the core's L1 (clean)."""
+    filler = iter(fillers)
+    while system.l1s[core].probe(addr, touch=False) is not None:
+        system.access(core, next(filler), is_write=False)
+
+
+class TestStaleOwner:
+    def test_read_from_stale_owner_nacks_and_serves_llc(self, system):
+        system.access(0, 0, is_write=False)  # core 0: E
+        silently_evict(system, 0, 0, fillers=[100, 102, 104, 106])
+        # Directory still believes core 0 owns block 0.
+        assert system.directory.lookup(0, touch=False).owner == 0
+        system.access(1, 0, is_write=False)
+        assert system.l1s[1].state_of(0) is MesiState.SHARED
+        assert system.stats.child("protocol").get("forward_nacks") == 1
+        entry = system.directory.lookup(0, touch=False)
+        assert 0 not in entry.believed  # stale owner retired
+        assert 1 in entry.believed
+        system.check_invariants()
+
+    def test_write_to_stale_owner_nacks_and_grants_m(self, system):
+        system.access(0, 0, is_write=False)
+        silently_evict(system, 0, 0, fillers=[100, 102, 104, 106])
+        system.access(1, 0, is_write=True)
+        assert system.l1s[1].state_of(0) is MesiState.MODIFIED
+        assert system.stats.child("protocol").get("forward_nacks") == 1
+        assert system.directory.lookup(0, touch=False).owner == 1
+        system.check_invariants()
+
+
+class TestStaleSelf:
+    def test_reread_after_silent_self_eviction_regrants_exclusive(self, system):
+        system.access(0, 0, is_write=False)
+        silently_evict(system, 0, 0, fillers=[100, 102, 104, 106])
+        system.access(0, 0, is_write=False)
+        assert system.l1s[0].state_of(0) is MesiState.EXCLUSIVE
+        assert system.stats.child("protocol").get("self_regrants") >= 1
+        system.check_invariants()
+
+    def test_rewrite_after_silent_self_eviction_regrants_modified(self, system):
+        system.access(0, 0, is_write=False)  # E (clean, so eviction is silent)
+        silently_evict(system, 0, 0, fillers=[100, 102, 104, 106])
+        system.access(0, 0, is_write=True)
+        assert system.l1s[0].state_of(0) is MesiState.MODIFIED
+        system.check_invariants()
+
+
+class TestStaleSharers:
+    def test_write_sends_spurious_invalidation_to_stale_sharer(self, system):
+        system.access(0, 0, is_write=False)
+        system.access(1, 0, is_write=False)  # both S; believed {0, 1}
+        silently_evict(system, 1, 0, fillers=[101, 103, 105, 107])
+        assert 1 in system.directory.lookup(0, touch=False).believed  # stale
+        system.access(2, 0, is_write=True)
+        # Invalidations went to cores 0 and 1; core 1's found nothing.
+        assert system.stats.child("protocol").get("write_inval_msgs") == 2
+        assert system.l1s[2].state_of(0) is MesiState.MODIFIED
+        system.check_invariants()
+
+    def test_stale_sharer_rereads_as_normal_sharer(self, system):
+        system.access(0, 0, is_write=False)
+        system.access(1, 0, is_write=False)
+        silently_evict(system, 1, 0, fillers=[101, 103, 105, 107])
+        system.access(1, 0, is_write=False)  # re-join; already believed
+        assert system.l1s[1].state_of(0) is MesiState.SHARED
+        system.check_invariants()
+
+
+class TestStaleEntryEviction:
+    def test_evicting_stale_entry_costs_messages_but_no_copies(self):
+        """A directory eviction of a fully stale entry sends invalidations
+        that find nothing: pure overhead, no copies destroyed."""
+        system = build_system(
+            tiny_config(
+                DirectoryKind.SPARSE, entries_override=4, dir_ways=2,
+                l1_sets=1, l1_ways=2,
+            )
+        )
+        system.access(0, 0, is_write=False)
+        silently_evict(system, 0, 0, fillers=[100, 102, 104, 106])
+        invals_before = system.stats.child("protocol").get("dir_induced_invalidations")
+        # Entry for block 0 is stale; force a conflict in its set (evens).
+        # The set currently holds entries for 0 and the surviving fillers.
+        system.access(1, 2, is_write=False)
+        system.access(1, 4, is_write=False)
+        system.access(1, 6, is_write=False)
+        # No *live* copies were destroyed by evicting stale entries for
+        # blocks core 0 no longer holds.
+        assert (
+            system.stats.child("protocol").get("dir_induced_invalidations")
+            <= invals_before + 2  # fillers may still be live; bound loosely
+        )
+        system.check_invariants()

@@ -1,0 +1,29 @@
+"""The exception hierarchy contract: everything derives from ReproError."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    DirectoryError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    TraceError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc_type",
+    [ConfigError, DirectoryError, InvariantViolation, ProtocolError, TraceError],
+)
+def test_all_derive_from_repro_error(exc_type):
+    assert issubclass(exc_type, ReproError)
+
+
+def test_invariant_violation_is_protocol_error():
+    assert issubclass(InvariantViolation, ProtocolError)
+
+
+def test_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise DirectoryError("boom")

@@ -1,0 +1,84 @@
+"""Unit tests for the deterministic RNG."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(5)
+        b = DeterministicRng(5)
+        assert [a.randint(0, 100) for _ in range(50)] == [
+            b.randint(0, 100) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRng(5)
+        b = DeterministicRng(6)
+        assert [a.randint(0, 1000) for _ in range(20)] != [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_spawn_reproducible(self):
+        a = DeterministicRng(9).spawn(3)
+        b = DeterministicRng(9).spawn(3)
+        assert a.randint(0, 10**6) == b.randint(0, 10**6)
+
+    def test_spawn_streams_decorrelated(self):
+        parent = DeterministicRng(9)
+        a = parent.spawn(1)
+        b = parent.spawn(2)
+        assert [a.randint(0, 1000) for _ in range(20)] != [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_seed_property(self):
+        assert DeterministicRng(17).seed == 17
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(1)
+        values = [rng.randint(3, 7) for _ in range(200)]
+        assert min(values) >= 3
+        assert max(values) <= 7
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRng(1)
+        for _ in range(100):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_choice_and_shuffle(self):
+        rng = DeterministicRng(2)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestZipf:
+    def test_zipf_in_range(self):
+        rng = DeterministicRng(3)
+        for _ in range(500):
+            assert 0 <= rng.zipf_index(20, 0.8) < 20
+
+    def test_zipf_skews_to_low_indices(self):
+        rng = DeterministicRng(3)
+        draws = [rng.zipf_index(100, 1.2) for _ in range(5000)]
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 5 * max(tail, 1)
+
+    def test_zipf_alpha_zero_is_uniform_range(self):
+        rng = DeterministicRng(4)
+        draws = {rng.zipf_index(8, 0.0) for _ in range(500)}
+        assert draws == set(range(8))
+
+    @given(st.integers(min_value=1, max_value=200), st.floats(min_value=0, max_value=3))
+    def test_zipf_property_in_range(self, n, alpha):
+        rng = DeterministicRng(5)
+        assert 0 <= rng.zipf_index(n, alpha) < n

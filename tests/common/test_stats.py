@@ -1,0 +1,95 @@
+"""Unit tests for the hierarchical statistics tree."""
+
+from repro.common.stats import StatGroup, per_kilo, ratio
+
+
+class TestCounters:
+    def test_add_creates_on_first_use(self):
+        group = StatGroup("g")
+        group.add("hits")
+        assert group.get("hits") == 1.0
+
+    def test_add_amount(self):
+        group = StatGroup("g")
+        group.add("latency", 12.5)
+        group.add("latency", 7.5)
+        assert group.get("latency") == 20.0
+
+    def test_missing_reads_zero(self):
+        assert StatGroup("g").get("nothing") == 0.0
+
+    def test_set_overwrites(self):
+        group = StatGroup("g")
+        group.add("size", 5)
+        group.set("size", 2)
+        assert group.get("size") == 2
+
+    def test_counters_copy_is_isolated(self):
+        group = StatGroup("g")
+        group.add("x")
+        copy = group.counters()
+        copy["x"] = 99
+        assert group.get("x") == 1
+
+
+class TestHierarchy:
+    def test_child_created_once(self):
+        group = StatGroup("root")
+        assert group.child("a") is group.child("a")
+
+    def test_to_dict_flattens_with_paths(self):
+        root = StatGroup("sys")
+        root.add("top", 1)
+        root.child("l1").add("hits", 3)
+        root.child("l1").child("array").add("fills", 2)
+        flat = root.to_dict()
+        assert flat == {
+            "sys.top": 1,
+            "sys.l1.hits": 3,
+            "sys.l1.array.fills": 2,
+        }
+
+    def test_walk_order_deterministic(self):
+        root = StatGroup("s")
+        root.child("b").add("x")
+        root.child("a").add("y")
+        paths = [p for p, _, _ in root.walk()]
+        assert paths == sorted(paths)
+
+    def test_total_sums_descendants(self):
+        root = StatGroup("s")
+        root.add("evictions", 1)
+        root.child("a").add("evictions", 2)
+        root.child("a").child("b").add("evictions", 4)
+        assert root.total("evictions") == 7
+
+    def test_merge_accumulates_recursively(self):
+        a = StatGroup("a")
+        a.child("sub").add("hits", 1)
+        b = StatGroup("b")
+        b.child("sub").add("hits", 2)
+        b.child("sub").add("misses", 5)
+        a.merge(b)
+        assert a.child("sub").get("hits") == 3
+        assert a.child("sub").get("misses") == 5
+
+    def test_reset_zeroes_everything(self):
+        root = StatGroup("s")
+        root.add("x", 3)
+        root.child("c").add("y", 4)
+        root.reset()
+        assert root.to_dict() == {}
+
+
+class TestHelpers:
+    def test_ratio(self):
+        assert ratio(1, 2) == 0.5
+
+    def test_ratio_zero_denominator_uses_default(self):
+        assert ratio(5, 0) == 0.0
+        assert ratio(5, 0, default=1.0) == 1.0
+
+    def test_per_kilo(self):
+        assert per_kilo(5, 1000) == 5.0
+        assert per_kilo(1, 2000) == 0.5
+        assert per_kilo(1, 0) == 0.0

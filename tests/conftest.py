@@ -1,0 +1,70 @@
+"""Shared fixtures and factories for the test suite.
+
+The helpers build deliberately tiny systems (few sets, few ways) so tests
+exercise eviction and conflict paths without large traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    DirectoryConfig,
+    DirectoryKind,
+    NoCConfig,
+    SystemConfig,
+)
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+from repro.sim.system import build_system
+
+
+def tiny_config(
+    kind: DirectoryKind = DirectoryKind.STASH,
+    ratio: float = 1.0,
+    num_cores: int = 4,
+    dir_ways: int = 2,
+    l1_sets: int = 4,
+    l1_ways: int = 2,
+    llc_sets: int = 64,
+    llc_ways: int = 4,
+    check_invariants: bool = True,
+    **dir_kwargs,
+) -> SystemConfig:
+    """A 4-core system small enough to force evictions with short traces."""
+    return SystemConfig(
+        num_cores=num_cores,
+        l1=CacheConfig(sets=l1_sets, ways=l1_ways),
+        llc=CacheConfig(sets=llc_sets, ways=llc_ways),
+        directory=DirectoryConfig(
+            kind=kind, coverage_ratio=ratio, ways=dir_ways, **dir_kwargs
+        ),
+        noc=NoCConfig(mesh_width=2, mesh_height=2),
+        check_invariants=check_invariants,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    """A seeded RNG."""
+    return DeterministicRng(42)
+
+
+@pytest.fixture
+def stats() -> StatGroup:
+    """A fresh stats root."""
+    return StatGroup("test")
+
+
+@pytest.fixture
+def tiny_stash_system():
+    """A built 4-core stash-directory system (invariants on)."""
+    return build_system(tiny_config(DirectoryKind.STASH, ratio=0.5))
+
+
+@pytest.fixture
+def tiny_sparse_system():
+    """A built 4-core conventional sparse system (invariants on)."""
+    return build_system(tiny_config(DirectoryKind.SPARSE, ratio=0.5))

@@ -1,0 +1,142 @@
+"""Unit + integration tests for adaptive stash throttling."""
+
+import pytest
+
+from repro.common.config import DirectoryConfig, DirectoryKind
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+from repro.core.adaptive import AdaptiveStashDirectory
+from repro.directory import make_directory
+from repro.directory.base import EvictionAction
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+def make_adaptive(window=4, threshold=0.5, cooloff=3, entries=4, ways=2):
+    return AdaptiveStashDirectory(
+        DirectoryConfig(kind=DirectoryKind.ADAPTIVE_STASH, ways=ways),
+        num_cores=4,
+        entries=entries,
+        rng=DeterministicRng(1),
+        stats=StatGroup("dir"),
+        window=window,
+        threshold=threshold,
+        cooloff=cooloff,
+    )
+
+
+def fill_private(d, addrs, core=1):
+    for addr in addrs:
+        d.allocate(addr).entry.grant_exclusive(core)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigError):
+            make_adaptive(window=0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigError):
+            make_adaptive(threshold=1.5)
+
+    def test_rejects_bad_cooloff(self):
+        with pytest.raises(ConfigError):
+            make_adaptive(cooloff=0)
+
+
+class TestThrottling:
+    def test_stashes_while_discoveries_succeed(self):
+        d = make_adaptive(window=4)
+        for _ in range(8):
+            d.note_discovery(found=True)
+        assert d.stash_enabled
+        fill_private(d, [0, 2])
+        assert d.allocate(4).eviction.action is EvictionAction.STASH
+
+    def test_suspends_after_false_heavy_window(self):
+        d = make_adaptive(window=4, threshold=0.5)
+        for _ in range(4):
+            d.note_discovery(found=False)
+        assert not d.stash_enabled
+        assert d.stats.get("throttle_suspensions") == 1
+
+    def test_suspended_evictions_invalidate(self):
+        d = make_adaptive(window=4, cooloff=10)
+        for _ in range(4):
+            d.note_discovery(found=False)
+        fill_private(d, [0, 2])
+        result = d.allocate(4)
+        assert result.eviction.action is EvictionAction.INVALIDATE
+        assert d.stats.get("throttled_evictions") == 1
+
+    def test_probation_reenables(self):
+        d = make_adaptive(window=4, cooloff=2)
+        for _ in range(4):
+            d.note_discovery(found=False)
+        fill_private(d, [0, 2])
+        first = d.allocate(4)
+        assert first.eviction.action is EvictionAction.INVALIDATE
+        first.entry.grant_exclusive(2)  # keep the set full of private entries
+        # Second conflicting eviction exhausts the cool-off: probation.
+        assert d.allocate(6).eviction.action is EvictionAction.STASH
+        assert d.stats.get("throttle_probations") == 1
+        assert d.stash_enabled
+
+    def test_window_below_threshold_keeps_stashing(self):
+        d = make_adaptive(window=4, threshold=0.5)
+        for found in (True, True, True, False):
+            d.note_discovery(found)
+        assert d.stash_enabled
+
+    def test_window_resets_between_evaluations(self):
+        d = make_adaptive(window=4, threshold=0.5)
+        for found in (True, True, True, False):  # 25% false: fine
+            d.note_discovery(found)
+        for found in (True, True, False, False):  # exactly 50%: not above
+            d.note_discovery(found)
+        assert d.stash_enabled
+        for found in (False, False, False, True):  # 75%: suspend
+            d.note_discovery(found)
+        assert not d.stash_enabled
+
+
+class TestIntegration:
+    def test_factory_builds_adaptive(self):
+        d = make_directory(
+            DirectoryConfig(kind=DirectoryKind.ADAPTIVE_STASH, ways=2),
+            num_cores=4,
+            entries=8,
+            rng=DeterministicRng(1),
+            stats=StatGroup("dir"),
+        )
+        assert isinstance(d, AdaptiveStashDirectory)
+
+    def test_end_to_end_with_invariants(self):
+        system = build_system(
+            tiny_config(DirectoryKind.ADAPTIVE_STASH, ratio=0.25)
+        )
+        assert system.is_stash  # relaxed inclusion applies
+        for i in range(400):
+            system.access(i % 4, (i * 13) % 48, is_write=i % 4 == 0)
+        system.check_invariants()
+
+    def test_feedback_loop_wired(self):
+        """The home controller reports discovery outcomes to the directory."""
+        system = build_system(
+            tiny_config(
+                DirectoryKind.ADAPTIVE_STASH,
+                entries_override=4,
+                dir_ways=2,
+                l1_sets=4,
+                l1_ways=2,
+            )
+        )
+        directory = system.directory
+        # Stash a block hidden in core 0 (see protocol stash tests).
+        for addr in (0, 2, 6):
+            system.access(0, addr, is_write=False)
+        hidden = next(a for a in (0, 2, 6) if system.llc.stash_bit(a))
+        before = directory._window_total
+        system.access(1, hidden, is_write=False)  # triggers discovery
+        assert directory._window_total == before + 1

@@ -1,0 +1,153 @@
+"""Unit + property tests for the discovery presence filter.
+
+The one property that matters: the candidate set is ALWAYS a superset of
+the true holders — a filtered discovery can never miss a hidden copy.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import DirectoryKind
+from repro.common.errors import ConfigError, ProtocolError
+from repro.common.stats import StatGroup
+from repro.core.filter import PresenceFilter
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+def make_filter(cores=4, slots=8):
+    return PresenceFilter(cores, slots, StatGroup("filter"))
+
+
+class TestValidation:
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigError):
+            make_filter(cores=0)
+
+    def test_rejects_non_power_of_two_slots(self):
+        with pytest.raises(ConfigError):
+            make_filter(slots=6)
+
+
+class TestCounting:
+    def test_add_then_may_hold(self):
+        f = make_filter()
+        assert not f.may_hold(1, 0x40)
+        f.add(1, 0x40)
+        assert f.may_hold(1, 0x40)
+
+    def test_remove_clears(self):
+        f = make_filter()
+        f.add(1, 0x40)
+        f.remove(1, 0x40)
+        assert not f.may_hold(1, 0x40)
+
+    def test_counting_not_boolean(self):
+        f = make_filter()
+        f.add(1, 0x40)
+        f.add(1, 0x40)
+        f.remove(1, 0x40)
+        assert f.may_hold(1, 0x40)
+
+    def test_underflow_raises(self):
+        with pytest.raises(ProtocolError):
+            make_filter().remove(1, 0x40)
+
+    def test_aliasing_overcounts_safely(self):
+        f = make_filter(slots=1)  # everything aliases to one slot
+        f.add(1, 0x40)
+        assert f.may_hold(1, 0x999)  # false positive: allowed
+        f.remove(1, 0x40)
+        assert not f.may_hold(1, 0x999)
+
+
+class TestCandidates:
+    def test_candidates_only_matching_cores(self):
+        f = make_filter()
+        f.add(0, 0x40)
+        f.add(2, 0x40)
+        assert f.candidates(0x40) == [0, 2]
+
+    def test_exclude_core(self):
+        f = make_filter()
+        f.add(0, 0x40)
+        f.add(2, 0x40)
+        assert f.candidates(0x40, exclude_core=0) == [2]
+
+    def test_empty_candidates(self):
+        assert make_filter().candidates(0x40) == []
+
+    def test_stats_recorded(self):
+        f = make_filter()
+        f.add(0, 0x40)
+        f.candidates(0x40, exclude_core=1)
+        assert f._stats.get("queries") == 1
+        assert f._stats.get("probes_skipped") == 2  # cores 2, 3
+
+    def test_storage_bits(self):
+        assert PresenceFilter.storage_bits(16, 64, counter_bits=4) == 16 * 64 * 4
+
+
+class TestEndToEnd:
+    def test_filter_reduces_probe_fanout(self):
+        def run(slots):
+            system = build_system(
+                tiny_config(
+                    DirectoryKind.STASH, entries_override=4, dir_ways=2,
+                    l1_sets=4, l1_ways=2, discovery_filter_slots=slots,
+                )
+            )
+            # Stash block 0 hidden in core 0, then discover from core 1.
+            for addr in (0, 2, 6):
+                system.access(0, addr, is_write=False)
+            hidden = next(a for a in (0, 2, 6) if system.llc.stash_bit(a))
+            system.access(1, hidden, is_write=False)
+            system.check_invariants()
+            return system.stats.child("discovery").get("probes_sent")
+
+        assert run(slots=64) < run(slots=0)
+
+    def test_filtered_discovery_still_finds_hider(self):
+        system = build_system(
+            tiny_config(
+                DirectoryKind.STASH, entries_override=4, dir_ways=2,
+                l1_sets=4, l1_ways=2, discovery_filter_slots=64,
+            )
+        )
+        for addr in (0, 2, 6):
+            system.access(0, addr, is_write=False)
+        hidden = next(a for a in (0, 2, 6) if system.llc.stash_bit(a))
+        system.access(1, hidden, is_write=False)
+        assert system.stats.child("discovery").get("successful_discoveries") == 1
+        entry = system.directory.lookup(hidden, touch=False)
+        assert entry.believed == {0, 1}
+        system.check_invariants()
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    program=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 11), st.booleans()),
+        min_size=1,
+        max_size=120,
+    ),
+    slots=st.sampled_from([1, 2, 8, 64]),
+)
+def test_property_filter_never_excludes_a_true_holder(program, slots):
+    """Safety: after every access, every core actually holding a block is in
+    the filter's candidate set for it — and the full invariant suite holds
+    under filtered discovery (tiny slot counts maximize aliasing stress)."""
+    system = build_system(
+        tiny_config(
+            DirectoryKind.STASH, entries_override=4, dir_ways=2,
+            l1_sets=2, l1_ways=2, discovery_filter_slots=slots,
+        )
+    )
+    filter_ = system.home.filter
+    for core, addr, is_write in program:
+        system.access(core, addr, is_write)
+        system.check_invariants()
+        for l1 in system.l1s:
+            for block in l1.iter_blocks():
+                assert filter_.may_hold(l1.core_id, block.addr)

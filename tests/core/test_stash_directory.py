@@ -1,0 +1,97 @@
+"""Unit tests for the stash directory's victim policy — the contribution."""
+
+from repro.common.config import DirectoryConfig, DirectoryKind, StashEligibility
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+from repro.core.stash_directory import StashDirectory
+from repro.directory.base import EvictionAction
+
+
+def make_stash(entries=4, ways=2, num_cores=4, eligibility=StashEligibility.ANY_PRIVATE):
+    return StashDirectory(
+        DirectoryConfig(
+            kind=DirectoryKind.STASH, ways=ways, stash_eligibility=eligibility
+        ),
+        num_cores=num_cores,
+        entries=entries,
+        rng=DeterministicRng(1),
+        stats=StatGroup("dir"),
+    )
+
+
+def fill_set_zero(d, specs):
+    """Allocate entries mapping to set 0 (addrs 0, 2, 4 ... for 2 sets)."""
+    for addr, holders in specs:
+        entry = d.allocate(addr).entry
+        if len(holders) == 1:
+            entry.grant_exclusive(holders[0])
+        else:
+            for core in holders:
+                entry.add_sharer(core)
+
+
+class TestStashVictimSelection:
+    def test_private_victim_is_stashed(self):
+        d = make_stash()
+        fill_set_zero(d, [(0, [1]), (2, [2])])
+        result = d.allocate(4)
+        assert result.eviction is not None
+        assert result.eviction.action is EvictionAction.STASH
+
+    def test_shared_entries_force_invalidation(self):
+        d = make_stash()
+        fill_set_zero(d, [(0, [1, 2]), (2, [2, 3])])
+        result = d.allocate(4)
+        assert result.eviction.action is EvictionAction.INVALIDATE
+        assert d.stats.get("forced_invalidations") == 1
+
+    def test_private_preferred_over_lru_shared(self):
+        d = make_stash()
+        # Entry 0 is shared (LRU), entry 2 is private (MRU).
+        fill_set_zero(d, [(0, [1, 2]), (2, [3])])
+        result = d.allocate(4)
+        # Even though 0 is older, the private entry 2 must be the victim.
+        assert result.eviction.entry.addr == 2
+        assert result.eviction.action is EvictionAction.STASH
+
+    def test_lru_among_eligible(self):
+        d = make_stash(entries=8, ways=4)
+        fill_set_zero(d, [(0, [1]), (2, [2]), (4, [3]), (6, [0])])
+        d.lookup(0)  # 2 becomes the LRU private entry
+        result = d.allocate(8)
+        assert result.eviction.entry.addr == 2
+
+    def test_eviction_stats_by_action(self):
+        d = make_stash()
+        fill_set_zero(d, [(0, [1]), (2, [2])])
+        d.allocate(4)
+        assert d.stats.get("evictions_stash") == 1
+        assert d.stats.get("evictions_invalidate") == 0
+
+
+class TestEligibilityVariants:
+    def test_exclusive_only_skips_lone_sharer(self):
+        d = make_stash(eligibility=StashEligibility.EXCLUSIVE_ONLY)
+        # Lone-S entries: private but not E/M.
+        fill_set_zero(d, [(0, [1]), (2, [2])])
+        for addr in (0, 2):
+            d.lookup(addr, touch=False).demote_owner()
+        # Force them into shared-style (no owner) lone-S form.
+        result = d.allocate(4)
+        assert result.eviction.action is EvictionAction.INVALIDATE
+
+    def test_exclusive_only_still_stashes_owners(self):
+        d = make_stash(eligibility=StashEligibility.EXCLUSIVE_ONLY)
+        fill_set_zero(d, [(0, [1]), (2, [2])])
+        # grant_exclusive in the helper set owners; both are eligible.
+        result = d.allocate(4)
+        assert result.eviction.action is EvictionAction.STASH
+
+
+class TestInheritedBehaviour:
+    def test_is_sparse_structurally(self):
+        d = make_stash()
+        d.allocate(0)
+        assert d.lookup(0).addr == 0
+        d.deallocate(0)
+        assert d.occupancy() == 0

@@ -1,0 +1,92 @@
+"""Unit tests for the directory entry record."""
+
+import pytest
+
+from repro.common.errors import DirectoryError
+from repro.directory.base import DirEntryState, DirectoryEntry
+from repro.directory.sharers import FullBitVector
+
+
+def make_entry(addr=0x10, cores=16):
+    return DirectoryEntry(addr, FullBitVector(cores))
+
+
+class TestTransitions:
+    def test_fresh_entry_empty(self):
+        entry = make_entry()
+        assert entry.is_empty()
+        assert entry.believed_count() == 0
+        assert entry.owner is None
+
+    def test_grant_exclusive(self):
+        entry = make_entry()
+        entry.grant_exclusive(3)
+        assert entry.owner == 3
+        assert entry.believed == {3}
+        assert entry.targets() == [3]
+        assert entry.state is DirEntryState.EXCLUSIVE
+
+    def test_grant_exclusive_replaces_sharers(self):
+        entry = make_entry()
+        entry.add_sharer(1)
+        entry.add_sharer(2)
+        entry.grant_exclusive(5)
+        assert entry.believed == {5}
+        assert entry.targets() == [5]
+
+    def test_add_sharer(self):
+        entry = make_entry()
+        entry.add_sharer(1)
+        entry.add_sharer(4)
+        assert entry.believed == {1, 4}
+        assert entry.state is DirEntryState.SHARED
+
+    def test_demote_owner_keeps_membership(self):
+        entry = make_entry()
+        entry.grant_exclusive(3)
+        entry.demote_owner()
+        assert entry.owner is None
+        assert 3 in entry.believed
+        assert entry.state is DirEntryState.SHARED
+
+    def test_remove_core_clears_owner(self):
+        entry = make_entry()
+        entry.grant_exclusive(3)
+        entry.remove_core(3)
+        assert entry.owner is None
+        assert entry.is_empty()
+
+    def test_remove_absent_core_is_noop(self):
+        entry = make_entry()
+        entry.add_sharer(1)
+        entry.remove_core(9)
+        assert entry.believed == {1}
+
+
+class TestPrivacy:
+    def test_single_sharer_is_private(self):
+        entry = make_entry()
+        entry.add_sharer(2)
+        assert entry.is_private()
+        assert entry.sole_holder() == 2
+
+    def test_exclusive_is_private(self):
+        entry = make_entry()
+        entry.grant_exclusive(2)
+        assert entry.is_private()
+
+    def test_two_sharers_not_private(self):
+        entry = make_entry()
+        entry.add_sharer(1)
+        entry.add_sharer(2)
+        assert not entry.is_private()
+
+    def test_sole_holder_of_shared_rejected(self):
+        entry = make_entry()
+        entry.add_sharer(1)
+        entry.add_sharer(2)
+        with pytest.raises(DirectoryError):
+            entry.sole_holder()
+
+    def test_empty_not_private(self):
+        assert not make_entry().is_private()

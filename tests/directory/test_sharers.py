@@ -1,0 +1,155 @@
+"""Unit + property tests for sharer-set representations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SharerFormat
+from repro.common.errors import ConfigError
+from repro.directory.sharers import (
+    CoarseVector,
+    FullBitVector,
+    LimitedPointer,
+    make_sharer_rep,
+    sharer_storage_bits,
+)
+
+N = 16
+
+
+class TestFullBitVector:
+    def test_add_remove_exact(self):
+        rep = FullBitVector(N)
+        rep.add(3)
+        rep.add(7)
+        assert sorted(rep.targets()) == [3, 7]
+        rep.remove(3)
+        assert rep.targets() == [7]
+
+    def test_clear(self):
+        rep = FullBitVector(N)
+        rep.add(1)
+        rep.clear()
+        assert rep.targets() == []
+
+    def test_add_idempotent(self):
+        rep = FullBitVector(N)
+        rep.add(5)
+        rep.add(5)
+        assert rep.targets() == [5]
+
+    def test_storage_bits(self):
+        assert FullBitVector.storage_bits(16) == 16
+        assert FullBitVector.storage_bits(64) == 64
+
+
+class TestCoarseVector:
+    def test_targets_cover_group(self):
+        rep = CoarseVector(N, group=4)
+        rep.add(5)
+        assert sorted(rep.targets()) == [4, 5, 6, 7]
+
+    def test_remove_cannot_clear(self):
+        rep = CoarseVector(N, group=4)
+        rep.add(5)
+        rep.remove(5)
+        assert 5 in rep.targets()  # imprecision is the point
+
+    def test_clear_resets(self):
+        rep = CoarseVector(N, group=4)
+        rep.add(5)
+        rep.clear()
+        assert rep.targets() == []
+
+    def test_partial_last_group(self):
+        rep = CoarseVector(10, group=4)
+        rep.add(9)
+        assert sorted(rep.targets()) == [8, 9]
+
+    def test_storage_bits(self):
+        assert CoarseVector.storage_bits(16, group=4) == 4
+        assert CoarseVector.storage_bits(10, group=4) == 3
+
+    def test_rejects_zero_group(self):
+        with pytest.raises(ConfigError):
+            CoarseVector(N, group=0)
+
+
+class TestLimitedPointer:
+    def test_exact_until_overflow(self):
+        rep = LimitedPointer(N, pointers=2)
+        rep.add(3)
+        rep.add(9)
+        assert sorted(rep.targets()) == [3, 9]
+
+    def test_overflow_broadcasts(self):
+        rep = LimitedPointer(N, pointers=2)
+        for core in (1, 2, 3):
+            rep.add(core)
+        assert rep.targets() == list(range(N))
+        assert rep.overflowed
+
+    def test_remove_before_overflow(self):
+        rep = LimitedPointer(N, pointers=4)
+        rep.add(3)
+        rep.add(9)
+        rep.remove(3)
+        assert rep.targets() == [9]
+
+    def test_clear_resets_overflow(self):
+        rep = LimitedPointer(N, pointers=1)
+        rep.add(1)
+        rep.add(2)
+        rep.clear()
+        assert not rep.overflowed
+        assert rep.targets() == []
+
+    def test_duplicate_add_does_not_overflow(self):
+        rep = LimitedPointer(N, pointers=2)
+        rep.add(3)
+        rep.add(3)
+        rep.add(9)
+        assert not rep.overflowed
+
+    def test_storage_bits(self):
+        # 4 pointers x 4 bits + overflow bit.
+        assert LimitedPointer.storage_bits(16, pointers=4) == 17
+
+
+class TestFactory:
+    @pytest.mark.parametrize("fmt", list(SharerFormat))
+    def test_make_each(self, fmt):
+        rep = make_sharer_rep(fmt, N)
+        rep.add(0)
+        assert 0 in rep.targets()
+
+    @pytest.mark.parametrize("fmt", list(SharerFormat))
+    def test_storage_bits_positive(self, fmt):
+        assert sharer_storage_bits(fmt, N) > 0
+
+    def test_coarse_storage_smaller_than_full_at_scale(self):
+        full = sharer_storage_bits(SharerFormat.FULL_BIT_VECTOR, 64)
+        coarse = sharer_storage_bits(SharerFormat.COARSE_VECTOR, 64, group=8)
+        limited = sharer_storage_bits(SharerFormat.LIMITED_POINTER, 64, pointers=4)
+        assert coarse < full
+        assert limited < full
+
+
+@pytest.mark.parametrize("fmt", list(SharerFormat))
+@settings(max_examples=40)
+@given(data=st.data())
+def test_property_targets_superset_of_live_holders(fmt, data):
+    """Invariant the protocol relies on: after any add/remove history, the
+    cores added-and-not-removed are always a subset of targets()."""
+    rep = make_sharer_rep(fmt, N, group=4, pointers=2)
+    live = set()
+    for add, core in data.draw(
+        st.lists(st.tuples(st.booleans(), st.integers(0, N - 1)), max_size=40)
+    ):
+        if add:
+            rep.add(core)
+            live.add(core)
+        else:
+            rep.remove(core)
+            live.discard(core)
+    assert live.issubset(set(rep.targets()))

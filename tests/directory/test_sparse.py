@@ -1,0 +1,135 @@
+"""Unit tests for the conventional sparse directory."""
+
+import pytest
+
+from repro.common.config import DirectoryConfig, DirectoryKind
+from repro.common.errors import ConfigError, DirectoryError
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatGroup
+from repro.directory.base import EvictionAction
+from repro.directory.sparse import SparseDirectory
+
+
+def make_sparse(entries=8, ways=2, num_cores=4):
+    return SparseDirectory(
+        DirectoryConfig(kind=DirectoryKind.SPARSE, ways=ways),
+        num_cores=num_cores,
+        entries=entries,
+        rng=DeterministicRng(1),
+        stats=StatGroup("dir"),
+    )
+
+
+class TestAllocLookup:
+    def test_miss_then_hit(self):
+        d = make_sparse()
+        assert d.lookup(5) is None
+        d.allocate(5)
+        assert d.lookup(5).addr == 5
+
+    def test_double_allocate_rejected(self):
+        d = make_sparse()
+        d.allocate(5)
+        with pytest.raises(DirectoryError):
+            d.allocate(5)
+
+    def test_entries_must_divide_by_ways(self):
+        with pytest.raises(ConfigError):
+            make_sparse(entries=7, ways=2)
+
+    def test_hit_miss_stats(self):
+        d = make_sparse()
+        d.lookup(5)
+        d.allocate(5)
+        d.lookup(5)
+        assert d.stats.get("misses") == 1
+        assert d.stats.get("hits") == 1
+
+
+class TestEviction:
+    def test_conflict_evicts_with_invalidate_action(self):
+        d = make_sparse(entries=4, ways=2)  # 2 sets x 2 ways
+        # Addresses 0, 2, 4 all map to set 0.
+        d.allocate(0)
+        d.allocate(2)
+        result = d.allocate(4)
+        assert result.eviction is not None
+        assert result.eviction.action is EvictionAction.INVALIDATE
+        assert result.eviction.entry.addr in (0, 2)
+
+    def test_lru_victim_chosen(self):
+        d = make_sparse(entries=4, ways=2)
+        d.allocate(0)
+        d.allocate(2)
+        d.lookup(0)  # 2 becomes LRU
+        result = d.allocate(4)
+        assert result.eviction.entry.addr == 2
+
+    def test_eviction_removes_victim(self):
+        d = make_sparse(entries=4, ways=2)
+        d.allocate(0)
+        d.allocate(2)
+        d.allocate(4)
+        victims = {0, 2, 4} - {e.addr for e in d.iter_entries()}
+        assert len(victims) == 1
+
+    def test_no_eviction_when_room(self):
+        d = make_sparse(entries=4, ways=2)
+        assert d.allocate(0).eviction is None
+        assert d.allocate(1).eviction is None  # different set
+
+    def test_eviction_stats(self):
+        d = make_sparse(entries=4, ways=2)
+        for addr in (0, 2, 4):
+            d.allocate(addr)
+        assert d.stats.get("evictions") == 1
+        assert d.stats.get("evictions_invalidate") == 1
+
+
+class TestDeallocate:
+    def test_deallocate_frees_slot(self):
+        d = make_sparse(entries=4, ways=2)
+        d.allocate(0)
+        d.deallocate(0)
+        assert d.lookup(0, touch=False) is None
+        assert d.occupancy() == 0
+
+    def test_deallocate_absent_is_noop(self):
+        make_sparse().deallocate(99)
+
+    def test_slot_reusable_after_deallocate(self):
+        d = make_sparse(entries=4, ways=2)
+        d.allocate(0)
+        d.allocate(2)
+        d.deallocate(0)
+        assert d.allocate(4).eviction is None
+
+
+class TestInspection:
+    def test_occupancy(self):
+        d = make_sparse()
+        d.allocate(1)
+        d.allocate(2)
+        assert d.occupancy() == 2
+
+    def test_iter_entries(self):
+        d = make_sparse()
+        d.allocate(1)
+        d.allocate(2)
+        assert {e.addr for e in d.iter_entries()} == {1, 2}
+
+    def test_contains(self):
+        d = make_sparse()
+        d.allocate(1)
+        assert d.contains(1)
+        assert not d.contains(2)
+
+    def test_capacity(self):
+        assert make_sparse(entries=8).capacity == 8
+
+    def test_set_occupancy(self):
+        d = make_sparse(entries=4, ways=2)
+        d.allocate(0)
+        d.allocate(2)
+        assert d.set_occupancy(0) == 2
+        assert d.set_occupancy(1) == 0

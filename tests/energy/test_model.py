@@ -1,0 +1,67 @@
+"""Unit tests for the energy model (F10)."""
+
+from repro.common.config import DirectoryKind, EnergyConfig
+from repro.energy.model import EnergyBreakdown, energy_of
+from repro.sim.results import SimulationResult
+from tests.conftest import tiny_config
+
+
+def make_result(kind=DirectoryKind.SPARSE, ratio=1.0, cycles=1000, stats=None):
+    return SimulationResult(
+        config=tiny_config(kind, ratio=ratio),
+        cycles_per_core=[cycles],
+        stats=stats
+        or {
+            "system.protocol.accesses": 100,
+            "system.protocol.llc_hits": 20,
+            "system.protocol.llc_misses": 5,
+            "system.llc.writebacks_absorbed": 3,
+            "system.directory.hits": 20,
+            "system.directory.misses": 5,
+            "system.memory.reads": 5,
+            "system.memory.writes": 1,
+            "system.noc.flit_hops.total": 400,
+        },
+    )
+
+
+class TestBreakdown:
+    def test_component_energies(self):
+        energy = energy_of(make_result(), EnergyConfig())
+        assert energy.l1_dynamic == 100 * 10.0
+        assert energy.llc_dynamic == 28 * 50.0
+        assert energy.directory_dynamic == 25 * 5.0
+        assert energy.memory_dynamic == 6 * 500.0
+        assert energy.noc_dynamic == 400 * 3.0
+
+    def test_totals(self):
+        energy = energy_of(make_result())
+        assert energy.total == energy.dynamic_total + energy.directory_leakage
+        assert energy.dynamic_total > 0
+
+    def test_leakage_scales_with_entries(self):
+        big = energy_of(make_result(ratio=2.0))
+        small = energy_of(make_result(ratio=0.25))
+        assert big.directory_leakage > small.directory_leakage
+
+    def test_leakage_scales_with_time(self):
+        short = energy_of(make_result(cycles=100))
+        long = energy_of(make_result(cycles=10_000))
+        assert long.directory_leakage > short.directory_leakage
+
+    def test_ideal_has_no_leakage(self):
+        energy = energy_of(make_result(kind=DirectoryKind.IDEAL))
+        assert energy.directory_leakage == 0.0
+
+    def test_normalized_to(self):
+        a = EnergyBreakdown(10, 0, 0, 0, 0, 0)
+        b = EnergyBreakdown(20, 0, 0, 0, 0, 0)
+        assert b.normalized_to(a) == 2.0
+
+    def test_normalized_to_zero_baseline(self):
+        zero = EnergyBreakdown(0, 0, 0, 0, 0, 0)
+        assert zero.normalized_to(zero) == 1.0
+
+    def test_config_defaults_from_result(self):
+        # energy_of without explicit config uses the result's config.
+        assert energy_of(make_result()).total > 0

@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end-to-end and prints its report.
+
+Run via subprocess with small parameters so the full suite stays fast; a
+broken public API surfaces here the way a downstream user would hit it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "directory_scaling.py",
+        "workload_characterization.py",
+        "custom_directory.py",
+        "noc_and_dram_analysis.py",
+        "moesi_comparison.py",
+    } <= scripts
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "swaptions-like", "400")
+    assert "stash  @ 1/8x" in out
+    assert "norm. time" in out
+
+
+def test_directory_scaling():
+    out = run_example("directory_scaling.py", "swaptions-like", "300")
+    assert "normalized execution time vs R" in out
+    assert "stash" in out
+
+
+def test_workload_characterization():
+    out = run_example("workload_characterization.py", "300")
+    assert "Sharing profile" in out
+    assert "blackscholes-like" in out
+
+
+def test_custom_directory():
+    out = run_example("custom_directory.py", "mix", "400")
+    assert "random-stash" in out
+
+
+def test_noc_and_dram_analysis():
+    out = run_example("noc_and_dram_analysis.py", "mix", "400")
+    assert "hottest mesh links" in out
+    assert "row-hit rate" in out
+
+
+def test_moesi_comparison():
+    out = run_example("moesi_comparison.py", "300")
+    assert "O transitions" in out

@@ -1,0 +1,97 @@
+"""The paper's claims, asserted as tests.
+
+These are the reproduction's acceptance tests: if they pass, the *shape* of
+the paper's results holds in our substrate (see EXPERIMENTS.md for the
+measured numbers).
+"""
+
+import pytest
+
+from repro.analysis.experiments import clear_cache, make_config, simulate
+from repro.common.config import DirectoryKind
+
+OPS = 1500
+WORKLOADS = ["blackscholes-like", "canneal-like", "mix"]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def run(kind, ratio, workload, **kwargs):
+    return simulate(workload, make_config(kind, ratio, **kwargs), ops_per_core=OPS)
+
+
+class TestHeadlineClaim:
+    """Abstract: 'Stash Directory can reduce space requirements to 1/8 of a
+    conventional sparse directory, without compromising performance.'"""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_stash_eighth_matches_full_sparse(self, workload):
+        sparse_full = run(DirectoryKind.SPARSE, 1.0, workload)
+        stash_eighth = run(DirectoryKind.STASH, 0.125, workload)
+        # Within 8% of the fully provisioned conventional design.
+        assert stash_eighth.normalized_time(sparse_full) < 1.08
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_sparse_eighth_is_hurt(self, workload):
+        """The comparison is only meaningful if 1/8 actually pressures the
+        conventional design on this workload class."""
+        sparse_full = run(DirectoryKind.SPARSE, 1.0, workload)
+        sparse_eighth = run(DirectoryKind.SPARSE, 0.125, workload)
+        stash_eighth = run(DirectoryKind.STASH, 0.125, workload)
+        assert sparse_eighth.normalized_time(sparse_full) > stash_eighth.normalized_time(
+            sparse_full
+        )
+
+    def test_stash_close_to_ideal(self):
+        ideal = run(DirectoryKind.IDEAL, 1.0, "mix")
+        stash = run(DirectoryKind.STASH, 0.125, "mix")
+        assert stash.normalized_time(ideal) < 1.10
+
+
+class TestMechanism:
+    def test_stash_eliminates_private_invalidations(self):
+        sparse = run(DirectoryKind.SPARSE, 0.125, "blackscholes-like")
+        stash = run(DirectoryKind.STASH, 0.125, "blackscholes-like")
+        # Private-heavy workload: sparse invalidates heavily, stash ~never.
+        assert sparse.dir_induced_invalidations > 100
+        assert stash.dir_induced_invalidations < 0.05 * sparse.dir_induced_invalidations
+
+    def test_stash_reduces_coverage_misses(self):
+        sparse = run(DirectoryKind.SPARSE, 0.125, "blackscholes-like")
+        stash = run(DirectoryKind.STASH, 0.125, "blackscholes-like")
+        assert stash.coverage_misses < sparse.coverage_misses
+
+    def test_discovery_overhead_is_modest(self):
+        """Traffic with discoveries stays in the same ballpark as the fully
+        provisioned baseline (the invalidation+refetch traffic it replaces
+        is larger than the broadcast traffic it adds)."""
+        sparse_full = run(DirectoryKind.SPARSE, 1.0, "blackscholes-like")
+        sparse_eighth = run(DirectoryKind.SPARSE, 0.125, "blackscholes-like")
+        stash_eighth = run(DirectoryKind.STASH, 0.125, "blackscholes-like")
+        assert stash_eighth.total_flit_hops < sparse_eighth.total_flit_hops
+
+    def test_effective_capacity_exceeds_physical(self):
+        stash = run(DirectoryKind.STASH, 0.125, "blackscholes-like")
+        entries = make_config(DirectoryKind.STASH, 0.125).directory_entries
+        samples = stash.effective_tracking_samples
+        assert samples and max(samples) > entries
+
+
+class TestBaselineOrdering:
+    def test_cuckoo_between_sparse_and_stash_when_conflict_limited(self):
+        """In a conflict-limited regime (working set ~ capacity, skewed set
+        indexing), cuckoo's relocation beats the set-associative sparse
+        design; stash beats both.  (In *capacity*-limited regimes, e.g.
+        canneal-like at low R, relocation cannot help — that ordering is
+        exercised by the performance sweep instead.)"""
+        workload = "blackscholes-like"
+        sparse = run(DirectoryKind.SPARSE, 1.0, workload)
+        cuckoo = run(DirectoryKind.CUCKOO, 1.0, workload)
+        stash = run(DirectoryKind.STASH, 1.0, workload)
+        assert cuckoo.dir_induced_invalidations < 0.75 * sparse.dir_induced_invalidations
+        assert stash.dir_induced_invalidations <= cuckoo.dir_induced_invalidations

@@ -1,0 +1,121 @@
+"""Unit tests for the banked open-page DRAM model."""
+
+import pytest
+
+from repro.common.config import DramConfig, DirectoryKind, MemoryModel
+from repro.common.errors import ConfigError
+from repro.common.stats import StatGroup
+from repro.mem import DramAdapter, make_memory
+from repro.mem.dram import DramModel
+from repro.sim.system import build_system
+from tests.conftest import tiny_config
+
+
+def make_dram(banks=4, row_blocks=8, pre=30, act=30, cas=30, xfer=4):
+    config = DramConfig(
+        banks=banks,
+        row_blocks=row_blocks,
+        precharge_cycles=pre,
+        activate_cycles=act,
+        cas_cycles=cas,
+        transfer_cycles=xfer,
+    )
+    return DramModel(config, StatGroup("mem"))
+
+
+class TestConfig:
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ConfigError):
+            DramConfig(banks=0)
+
+    def test_rejects_zero_row(self):
+        with pytest.raises(ConfigError):
+            DramConfig(row_blocks=0)
+
+    def test_rejects_negative_timing(self):
+        with pytest.raises(ConfigError):
+            DramConfig(cas_cycles=-1)
+
+
+class TestMapping:
+    def test_bank_interleaved(self):
+        dram = make_dram(banks=4)
+        assert [dram.bank_of(b) for b in range(5)] == [0, 1, 2, 3, 0]
+
+    def test_row_groups_blocks(self):
+        dram = make_dram(banks=1, row_blocks=8)
+        assert dram.row_of(0) == dram.row_of(7)
+        assert dram.row_of(8) == 1
+
+
+class TestTiming:
+    def test_first_access_is_row_empty(self):
+        dram = make_dram()
+        latency = dram.access(0, now=0.0, is_write=False)
+        assert latency == 30 + 30 + 4  # activate + cas + transfer
+
+    def test_row_hit_is_cheap(self):
+        dram = make_dram(banks=1)
+        dram.access(0, now=0.0, is_write=False)
+        latency = dram.access(1, now=1000.0, is_write=False)  # same row
+        assert latency == 30 + 4  # cas + transfer
+
+    def test_row_miss_pays_precharge(self):
+        dram = make_dram(banks=1, row_blocks=8)
+        dram.access(0, now=0.0, is_write=False)
+        latency = dram.access(8, now=1000.0, is_write=False)  # next row
+        assert latency == 30 + 30 + 30 + 4
+
+    def test_bank_conflict_waits(self):
+        dram = make_dram(banks=1)
+        first = dram.access(0, now=0.0, is_write=False)
+        # Second access issued before the bank frees: pays the residual.
+        second = dram.access(1, now=10.0, is_write=False)
+        assert second == (first - 10) + 30 + 4
+
+    def test_independent_banks_no_wait(self):
+        dram = make_dram(banks=2)
+        dram.access(0, now=0.0, is_write=False)
+        latency = dram.access(1, now=0.0, is_write=False)  # other bank
+        assert latency == 30 + 30 + 4
+
+    def test_row_hit_rate(self):
+        dram = make_dram(banks=1)
+        dram.access(0, now=0.0, is_write=False)
+        dram.access(1, now=500.0, is_write=False)
+        dram.access(2, now=1000.0, is_write=False)
+        assert dram.row_hit_rate() == pytest.approx(2 / 3)
+
+    def test_read_write_counters(self):
+        dram = make_dram()
+        dram.access(0, 0.0, is_write=False)
+        dram.access(1, 0.0, is_write=True)
+        assert dram.reads() == 1
+        assert dram.writes() == 1
+
+
+class TestFactoryAndIntegration:
+    def test_factory_flat_default(self):
+        memory = make_memory(tiny_config(), StatGroup("mem"))
+        assert not isinstance(memory, DramAdapter)
+
+    def test_factory_dram(self):
+        from dataclasses import replace
+
+        config = replace(tiny_config(), memory_model=MemoryModel.DRAM)
+        memory = make_memory(config, StatGroup("mem"))
+        assert isinstance(memory, DramAdapter)
+        assert memory.read(0, 0.0) > 0
+
+    def test_end_to_end_with_dram_and_invariants(self):
+        from dataclasses import replace
+
+        config = replace(
+            tiny_config(DirectoryKind.STASH, ratio=0.5),
+            memory_model=MemoryModel.DRAM,
+        )
+        system = build_system(config)
+        for i in range(200):
+            system.access(i % 4, (i * 7) % 40, is_write=i % 3 == 0, now=float(i * 10))
+        system.check_invariants()
+        assert system.stats.child("memory").get("reads") > 0

@@ -1,0 +1,28 @@
+"""Unit tests for the main-memory model."""
+
+from repro.common.config import TimingConfig
+from repro.common.stats import StatGroup
+from repro.mem.main_memory import MainMemory
+
+
+def make_memory(latency=120):
+    return MainMemory(TimingConfig(memory_latency=latency), StatGroup("mem"))
+
+
+class TestMainMemory:
+    def test_read_latency(self):
+        assert make_memory(100).read() == 100
+
+    def test_write_latency(self):
+        assert make_memory(100).write() == 100
+
+    def test_counters_separate(self):
+        mem = make_memory()
+        mem.read()
+        mem.read()
+        mem.write()
+        assert mem.reads() == 2
+        assert mem.writes() == 1
+
+    def test_latency_property(self):
+        assert make_memory(77).latency == 77

@@ -1,0 +1,45 @@
+"""Unit tests for the network facade."""
+
+from repro.common.config import NoCConfig
+from repro.common.stats import StatGroup
+from repro.noc.network import Network
+from repro.noc.traffic import MessageClass
+
+
+def make_network(w=4, h=4):
+    return Network(NoCConfig(mesh_width=w, mesh_height=h), StatGroup("noc"))
+
+
+class TestSend:
+    def test_send_returns_latency_and_records(self):
+        net = make_network()
+        latency = net.send(0, 3, MessageClass.REQUEST)
+        assert latency == 3 * 2 + 1
+        assert net.traffic.messages(MessageClass.REQUEST) == 1
+
+
+class TestBroadcast:
+    def test_broadcast_latency_is_worst_leg(self):
+        net = make_network()
+        latency, fanout = net.broadcast(
+            0, [1, 15], MessageClass.DISCOVERY_PROBE, MessageClass.DISCOVERY_REPLY
+        )
+        assert fanout == 2
+        # Farthest tile 15 is 6 hops: round trip 2*(6*2+1) = 26.
+        assert latency == 26
+
+    def test_broadcast_records_all_probes_and_replies(self):
+        net = make_network()
+        net.broadcast(
+            0, range(1, 16), MessageClass.DISCOVERY_PROBE, MessageClass.DISCOVERY_REPLY
+        )
+        assert net.traffic.messages(MessageClass.DISCOVERY_PROBE) == 15
+        assert net.traffic.messages(MessageClass.DISCOVERY_REPLY) == 15
+
+    def test_empty_broadcast_costs_nothing(self):
+        net = make_network()
+        latency, fanout = net.broadcast(
+            0, [], MessageClass.DISCOVERY_PROBE, MessageClass.DISCOVERY_REPLY
+        )
+        assert latency == 0 and fanout == 0
+        assert net.traffic.total_messages() == 0

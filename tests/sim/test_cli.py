@@ -1,0 +1,136 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "mix"
+        assert args.kind == "stash"
+        assert args.ratio == 0.125
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "F99"])
+
+    def test_experiment_ids_cover_design_index(self):
+        for expected in ["T1", "T2", "F3", "F10", "A3", "headline"]:
+            assert expected in EXPERIMENTS
+
+
+class TestCommands:
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--workload", "swaptions-like", "--ops", "200",
+                     "--cores", "4", "--check-invariants"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "execution_time" in out
+        assert "configuration" in out
+
+    def test_run_with_dram_and_warmup(self, capsys):
+        code = main(["run", "--ops", "200", "--cores", "4", "--dram",
+                     "--warmup", "100"])
+        assert code == 0
+        assert "results" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(["sweep", "--workload", "swaptions-like", "--ops", "200",
+                     "--kinds", "sparse", "stash", "--ratios", "1.0", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sparse" in out and "stash" in out
+
+    def test_characterize(self, capsys):
+        code = main(["characterize", "--workloads", "mix", "--ops", "200",
+                     "--cores", "4"])
+        assert code == 0
+        assert "private" in capsys.readouterr().out
+
+    def test_experiment_t2(self, capsys):
+        code = main(["experiment", "T2"])
+        assert code == 0
+        assert "storage" in capsys.readouterr().out
+
+    def test_gen_trace_and_replay(self, tmp_path, capsys):
+        path = tmp_path / "t.csv"
+        code = main(["gen-trace", "--workload", "mix", "--ops", "100",
+                     "--cores", "4", str(path)])
+        assert code == 0
+        assert path.exists()
+        code = main(["replay", str(path), "--cores", "4", "--kind", "stash",
+                     "--check-invariants"])
+        assert code == 0
+        assert "replay" in capsys.readouterr().out
+
+    def test_replay_missing_file_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "missing.csv"
+        with pytest.raises(FileNotFoundError):
+            main(["replay", str(missing), "--cores", "4"])
+
+    def test_replay_bad_trace_returns_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,0x40\n")
+        code = main(["replay", str(path), "--cores", "4"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_fuzz_clean_run(self, capsys):
+        code = main(["fuzz", "--rounds", "2", "--length", "80", "--kinds",
+                     "stash", "sparse"])
+        assert code == 0
+        assert "all invariants held" in capsys.readouterr().out
+
+    def test_fuzz_covers_all_kinds_by_default(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert "adaptive_stash" in args.kinds and "scd" in args.kinds
+
+
+class TestSaveAndCompare:
+    def test_run_save_then_compare(self, tmp_path, capsys):
+        a = tmp_path / "sparse.json"
+        b = tmp_path / "stash.json"
+        base = ["--workload", "swaptions-like", "--ops", "150", "--cores", "4"]
+        assert main(["run", *base, "--kind", "sparse", "--ratio", "1.0",
+                     "--save", str(a)]) == 0
+        assert main(["run", *base, "--kind", "stash", "--ratio", "0.125",
+                     "--save", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["compare", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "sparse" in out and "stash" in out
+        assert "norm. time" in out
+
+    def test_run_moesi_flag(self, capsys):
+        code = main(["run", "--workload", "mix", "--ops", "150", "--cores", "4",
+                     "--moesi", "--check-invariants"])
+        assert code == 0
+
+
+class TestReport:
+    def test_report_selected_sections(self, tmp_path, capsys):
+        out_path = tmp_path / "REPORT.md"
+        code = main(["report", str(out_path), "--ops", "200",
+                     "--sections", "T1", "T2", "headline"])
+        assert code == 0
+        text = out_path.read_text()
+        assert "## T1" in text and "## T2" in text and "## headline" in text
+        assert "Headline: normalized execution time" in text
+
+    def test_report_section_order_matches_registry(self):
+        from repro.analysis.report import REPORT_SECTIONS
+
+        ids = [exp_id for exp_id, _, _ in REPORT_SECTIONS]
+        assert ids.index("T1") < ids.index("F3") < ids.index("A1")

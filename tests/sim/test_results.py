@@ -1,0 +1,91 @@
+"""Unit tests for the result container's derived metrics."""
+
+from repro.sim.results import SimulationResult
+from tests.conftest import tiny_config
+
+
+def make_result(stats=None, cycles=(100, 200)):
+    return SimulationResult(
+        config=tiny_config(),
+        cycles_per_core=list(cycles),
+        stats=stats or {},
+    )
+
+
+class TestDerivedMetrics:
+    def test_execution_time_is_max(self):
+        assert make_result(cycles=(10, 50, 30)).execution_time == 50
+
+    def test_empty_cycles(self):
+        assert make_result(cycles=()).execution_time == 0
+
+    def test_avg_latency(self):
+        result = make_result(
+            {"system.protocol.accesses": 10, "system.protocol.latency_total": 250}
+        )
+        assert result.avg_access_latency == 25.0
+
+    def test_miss_rate(self):
+        result = make_result(
+            {"system.protocol.accesses": 100, "system.protocol.l1_misses": 7}
+        )
+        assert result.l1_miss_rate == 0.07
+
+    def test_per_kilo_metrics(self):
+        result = make_result(
+            {
+                "system.protocol.accesses": 2000,
+                "system.protocol.dir_induced_invalidations": 10,
+                "system.protocol.coverage_misses": 4,
+            }
+        )
+        assert result.dir_induced_invals_per_kilo == 5.0
+        assert result.coverage_misses_per_kilo == 2.0
+
+    def test_discovery_metrics(self):
+        result = make_result(
+            {
+                "system.protocol.accesses": 1000,
+                "system.discovery.broadcasts": 20,
+                "system.discovery.false_discoveries": 5,
+            }
+        )
+        assert result.discovery_per_kilo == 20.0
+        assert result.false_discovery_rate == 0.25
+
+    def test_zero_division_guards(self):
+        result = make_result({})
+        assert result.avg_access_latency == 0.0
+        assert result.false_discovery_rate == 0.0
+
+    def test_traffic_accessors(self):
+        result = make_result(
+            {
+                "system.noc.flit_hops.total": 500,
+                "system.noc.flit_hops.discovery_probe": 30,
+                "system.noc.msgs.total": 100,
+            }
+        )
+        assert result.total_flit_hops == 500
+        assert result.traffic_of("discovery_probe") == 30
+        assert result.total_messages == 100
+
+
+class TestNormalization:
+    def test_normalized_time(self):
+        fast = make_result(cycles=(100,))
+        slow = make_result(cycles=(150,))
+        assert slow.normalized_time(fast) == 1.5
+
+    def test_normalized_against_zero_baseline(self):
+        assert make_result(cycles=(100,)).normalized_time(make_result(cycles=())) == 1.0
+
+    def test_normalized_traffic(self):
+        a = make_result({"system.noc.flit_hops.total": 200})
+        b = make_result({"system.noc.flit_hops.total": 100})
+        assert a.normalized_traffic(b) == 2.0
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        assert "execution_time" in summary
+        assert "false_discovery_rate" in summary

@@ -1,0 +1,99 @@
+"""Unit tests for traces and trace file I/O."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.sim.trace import Trace, TraceRecord
+
+
+class TestConstruction:
+    def test_append_and_counts(self):
+        trace = Trace(2)
+        trace.append(0, 0x100, False)
+        trace.append(1, 0x140, True)
+        trace.append(0, 0x180, False)
+        assert trace.total_ops() == 3
+        assert trace.core_ops(0) == 2
+        assert trace.core_ops(1) == 1
+
+    def test_core_out_of_range(self):
+        with pytest.raises(TraceError):
+            Trace(2).append(2, 0, False)
+
+    def test_negative_address(self):
+        with pytest.raises(TraceError):
+            Trace(1).append(0, -1, False)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(0)
+
+    def test_from_records(self):
+        records = [TraceRecord(0, 0x100, True), TraceRecord(1, 0x200, False)]
+        trace = Trace.from_records(2, records)
+        assert trace.ops[0] == [(0x100, True)]
+        assert trace.ops[1] == [(0x200, False)]
+
+
+class TestMetrics:
+    def test_write_fraction(self):
+        trace = Trace(1)
+        trace.append(0, 0, True)
+        trace.append(0, 64, False)
+        assert trace.write_fraction() == 0.5
+
+    def test_write_fraction_empty(self):
+        assert Trace(1).write_fraction() == 0.0
+
+    def test_unique_blocks(self):
+        trace = Trace(1)
+        trace.append(0, 0, False)
+        trace.append(0, 63, False)   # same 64B block
+        trace.append(0, 64, False)   # next block
+        assert trace.unique_blocks(64) == 2
+
+    def test_iter_records(self):
+        trace = Trace(2)
+        trace.append(1, 0x40, True)
+        records = list(trace.iter_records())
+        assert records == [TraceRecord(1, 0x40, True)]
+
+
+class TestFileIO:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace(2)
+        trace.append(0, 0x100, False)
+        trace.append(1, 0x2000, True)
+        path = tmp_path / "t.csv"
+        trace.to_file(path)
+        loaded = Trace.from_file(path, 2)
+        assert loaded.ops == trace.ops
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# header\n\n0,0x40,R\n")
+        trace = Trace.from_file(path, 1)
+        assert trace.ops[0] == [(0x40, False)]
+
+    def test_decimal_addresses_accepted(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,128,W\n")
+        assert Trace.from_file(path, 1).ops[0] == [(128, True)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0x40\n")
+        with pytest.raises(TraceError):
+            Trace.from_file(path, 1)
+
+    def test_bad_rw_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0x40,X\n")
+        with pytest.raises(TraceError):
+            Trace.from_file(path, 1)
+
+    def test_bad_int_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("zero,0x40,R\n")
+        with pytest.raises(TraceError):
+            Trace.from_file(path, 1)

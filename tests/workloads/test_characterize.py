@@ -1,0 +1,61 @@
+"""Unit tests for trace characterization."""
+
+from repro.sim.trace import Trace
+from repro.workloads.characterize import histogram_buckets, profile_trace
+
+
+def make_trace():
+    trace = Trace(4)
+    # Block 0: private to core 0 (two accesses, one write).
+    trace.append(0, 0, True)
+    trace.append(0, 32, False)
+    # Block 1: shared by cores 0 and 1.
+    trace.append(0, 64, False)
+    trace.append(1, 64, False)
+    # Block 2: shared by all four cores.
+    for core in range(4):
+        trace.append(core, 128, False)
+    return trace
+
+
+class TestProfile:
+    def test_unique_and_private_counts(self):
+        profile = profile_trace(make_trace(), 64)
+        assert profile.unique_blocks == 3
+        assert profile.private_blocks == 1
+        assert profile.private_block_fraction == 1 / 3
+
+    def test_histogram(self):
+        profile = profile_trace(make_trace(), 64)
+        assert profile.sharing_histogram == {1: 1, 2: 1, 4: 1}
+        assert profile.degree_fraction(2) == 1 / 3
+        assert profile.degree_fraction(3) == 0.0
+
+    def test_write_fraction(self):
+        profile = profile_trace(make_trace(), 64)
+        assert profile.write_fraction == 1 / 8
+
+    def test_private_access_fraction(self):
+        profile = profile_trace(make_trace(), 64)
+        assert profile.private_access_fraction == 2 / 8
+
+    def test_empty_trace(self):
+        profile = profile_trace(Trace(2), 64)
+        assert profile.unique_blocks == 0
+        assert profile.private_block_fraction == 0.0
+        assert profile.write_fraction == 0.0
+
+
+class TestBuckets:
+    def test_buckets_sum_to_one(self):
+        profile = profile_trace(make_trace(), 64)
+        buckets = histogram_buckets(profile, 4)
+        assert abs(sum(buckets) - 1.0) < 1e-9
+
+    def test_bucket_layout(self):
+        profile = profile_trace(make_trace(), 64)
+        deg1, deg2, deg34, deg58, deg9plus = histogram_buckets(profile, 4)
+        assert deg1 == 1 / 3
+        assert deg2 == 1 / 3
+        assert deg34 == 1 / 3
+        assert deg58 == 0.0

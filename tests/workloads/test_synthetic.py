@@ -1,0 +1,73 @@
+"""Unit tests for the address-stream primitives."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.workloads.synthetic import (
+    PhasedStream,
+    SequentialStream,
+    UniformStream,
+    ZipfStream,
+)
+
+
+class TestSequential:
+    def test_wraps_around(self):
+        stream = SequentialStream(3)
+        assert [stream.next() for _ in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_stride(self):
+        stream = SequentialStream(8, stride=3)
+        assert [stream.next() for _ in range(4)] == [0, 3, 6, 1]
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ConfigError):
+            SequentialStream(8, stride=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            SequentialStream(0)
+
+
+class TestUniform:
+    def test_in_range_and_covers(self):
+        stream = UniformStream(4, DeterministicRng(1))
+        draws = {stream.next() for _ in range(200)}
+        assert draws == {0, 1, 2, 3}
+
+
+class TestZipf:
+    def test_in_range(self):
+        stream = ZipfStream(10, DeterministicRng(1), alpha=0.8)
+        for _ in range(200):
+            assert 0 <= stream.next() < 10
+
+    def test_skew(self):
+        stream = ZipfStream(100, DeterministicRng(1), alpha=1.5)
+        draws = [stream.next() for _ in range(2000)]
+        assert sum(1 for d in draws if d == 0) > sum(1 for d in draws if d >= 50)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ConfigError):
+            ZipfStream(10, DeterministicRng(1), alpha=-1)
+
+
+class TestPhased:
+    def test_alternates(self):
+        primary = SequentialStream(4)
+        secondary = SequentialStream(4, stride=2)
+        stream = PhasedStream(primary, secondary, primary_len=2, secondary_len=1)
+        values = [stream.next() for _ in range(6)]
+        # Phases: P P S P P S -> primary yields 0,1 then 2,3; secondary 0,2.
+        assert values == [0, 1, 0, 2, 3, 2]
+
+    def test_in_primary_flag(self):
+        stream = PhasedStream(SequentialStream(2), SequentialStream(2), 1, 1)
+        assert stream.in_primary()
+        stream.next()
+        assert not stream.in_primary()
+
+    def test_rejects_zero_phase(self):
+        with pytest.raises(ConfigError):
+            PhasedStream(SequentialStream(2), SequentialStream(2), 0, 1)
