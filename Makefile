@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench examples docs clean
+.PHONY: install test bench quick-bench bench-scaling examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -20,6 +20,12 @@ quick-bench:
 	$(PYTHON) -m pytest benchmarks/bench_table1_config.py \
 		benchmarks/bench_table2_storage.py \
 		benchmarks/bench_fig1_characterization.py --benchmark-only
+
+# Sweep-engine scaling trajectory (writes BENCH_runner.json; see
+# docs/PERFORMANCE.md).  BENCH_WORKERS/BENCH_CACHE_DIR configure the rest
+# of the harness.
+bench-scaling:
+	$(PYTHON) -m pytest benchmarks/bench_runner_scaling.py --benchmark-only
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,113 @@
+"""Sweep-engine scaling: wall-time of one cold sweep at 1, 2 and 4 workers.
+
+Runs the same provisioning sweep (a subset of the F3 point set) through
+:func:`repro.analysis.runner.run_points` with the caches cold at every
+worker count, checks that parallel execution reproduces the serial results
+exactly, and writes the timing trajectory to ``BENCH_runner.json`` at the
+repository root so speedups are trackable across commits.
+
+Speedup expectations scale with the host: on a single-CPU machine the
+parallel runs mostly measure process-pool overhead, so the benchmark
+asserts determinism and bounded slowdown rather than a fixed speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis import runner
+from repro.analysis.experiments import make_config
+from repro.common.config import DirectoryKind
+
+from benchmarks.conftest import once
+
+#: Worker counts the trajectory records.
+WORKER_COUNTS = [1, 2, 4]
+
+#: A small but representative cold sweep: 2 organizations x 3 ratios x
+#: 2 workloads = 12 independent points.
+SCALING_OPS = 600
+SCALING_POINTS = [
+    runner.SweepPoint(workload, make_config(kind, ratio), SCALING_OPS, 1)
+    for kind in (DirectoryKind.SPARSE, DirectoryKind.STASH)
+    for ratio in (1.0, 0.25, 0.125)
+    for workload in ("blackscholes-like", "mix")
+]
+
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_runner.json"
+
+
+def _cold_sweep(workers: int):
+    """One cold (memo cleared, disk cache off) run of the scaling sweep."""
+    runner.clear_memo()
+    start = time.perf_counter()
+    results = runner.run_points(SCALING_POINTS, workers=workers, cache_enabled=False)
+    return time.perf_counter() - start, results
+
+
+def test_runner_scaling(benchmark):
+    trajectory = []
+    reference = None
+    for workers in WORKER_COUNTS:
+        seconds, results = _cold_sweep(workers)
+        if reference is None:
+            reference = results
+        else:
+            # Parallel fan-out must reproduce the serial run exactly.
+            assert results == reference, f"workers={workers} diverged from serial"
+        trajectory.append({"workers": workers, "seconds": round(seconds, 4)})
+
+    serial = trajectory[0]["seconds"]
+    payload = {
+        "benchmark": "runner_scaling",
+        "points": len(SCALING_POINTS),
+        "ops_per_core": SCALING_OPS,
+        "cpu_count": os.cpu_count(),
+        "trajectory": trajectory,
+        "speedup_vs_serial": {
+            str(t["workers"]): round(serial / t["seconds"], 3) if t["seconds"] else None
+            for t in trajectory
+        },
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
+
+    # Timed round for the harness: the serial cold sweep (the baseline the
+    # speedups are measured against).
+    once(benchmark, lambda: _cold_sweep(1)[0])
+
+    with open(OUTPUT) as handle:
+        report_payload = json.load(handle)
+    assert report_payload["trajectory"] == trajectory
+    # Sanity bound rather than a host-dependent speedup assertion: with
+    # multiple CPUs the parallel runs should win; on one CPU the pool
+    # overhead must still stay within a small constant factor.
+    workers_4 = trajectory[-1]["seconds"]
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert workers_4 < serial
+    else:
+        assert workers_4 < serial * 5
+
+
+def test_warm_cache_is_near_instant(tmp_path):
+    """A warm persistent cache regenerates the sweep without simulating."""
+    cache_dir = tmp_path / "cache"
+    runner.clear_memo()
+    cold, _ = _timed(lambda: runner.run_points(
+        SCALING_POINTS, workers=1, cache_dir=cache_dir, cache_enabled=True
+    ))
+    runner.clear_memo()  # force the disk layer
+    warm, _ = _timed(lambda: runner.run_points(
+        SCALING_POINTS, workers=1, cache_dir=cache_dir, cache_enabled=True
+    ))
+    assert warm < cold / 5, f"warm cache not fast: cold={cold:.3f}s warm={warm:.3f}s"
+
+
+def _timed(fn):
+    """(seconds, value) of one call."""
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value

@@ -6,8 +6,12 @@ are defined exactly once.  Each ``run_*`` function returns an
 :class:`ExperimentOutput` carrying both the structured data and a rendered
 text report (the "figure").
 
-Simulation results are memoized per-process on the full parameter key:
-sweeps share baseline runs instead of re-simulating them.
+Simulation execution is delegated to :mod:`repro.analysis.runner`: results
+are memoized per-process on the full parameter key (sweeps share baseline
+runs instead of re-simulating them), persisted in a content-addressed disk
+cache, and each ``run_*`` sweep prefetches its full point set so
+independent simulations fan out across worker processes when the runner is
+configured with ``workers > 1``.
 """
 
 from __future__ import annotations
@@ -30,10 +34,11 @@ from ..common.mesi import CoherenceProtocol
 from ..energy.area import storage_of
 from ..energy.model import energy_of
 from ..sim.results import SimulationResult
-from ..sim.simulator import run_trace
 from ..workloads.characterize import histogram_buckets, profile_trace
 from ..workloads.suite import SUITE_ORDER, build_workload
+from . import runner
 from .figures import render_grouped_bars, render_series, render_sparkline
+from .runner import SweepPoint
 from .tables import render_kv, render_table
 
 #: Directory provisioning ratios the paper-style sweeps use.
@@ -125,7 +130,9 @@ def make_config(
 
 # --------------------------------------------------------------------------- running
 
-_RESULT_CACHE: Dict[tuple, SimulationResult] = {}
+#: The in-process memo, owned by :mod:`repro.analysis.runner` (same dict
+#: object — mutations are visible to both modules).
+_RESULT_CACHE: Dict[tuple, SimulationResult] = runner._MEMO
 
 
 def simulate(
@@ -134,22 +141,31 @@ def simulate(
     ops_per_core: int = DEFAULT_OPS,
     seed: int = 1,
 ) -> SimulationResult:
-    """Run one (workload, config) pair, memoized.
+    """Run one (workload, config) pair through the sweep engine.
 
     ``SystemConfig`` is a frozen (hashable) dataclass, so the *entire*
-    configuration keys the cache — any parameter change is a different run.
+    configuration keys the cache — any parameter change is a different
+    run.  Lookup order: in-memory memo, persistent disk cache
+    (``.repro_cache/``), then a fresh simulation.
     """
-    key = (workload, ops_per_core, seed, config)
-    cached = _RESULT_CACHE.get(key)
-    if cached is not None:
-        return cached
-    trace = build_workload(
-        workload, config.num_cores, ops_per_core, seed=seed,
-        block_bytes=config.block_bytes,
+    return runner.run_points([SweepPoint(workload, config, ops_per_core, seed)])[0]
+
+
+def prefetch(points, ops_per_core: int = DEFAULT_OPS, seed: int = 1) -> None:
+    """Simulate many points up front through the (possibly parallel) runner.
+
+    ``points`` is an iterable of ``(workload, config)`` pairs or full
+    :class:`~repro.analysis.runner.SweepPoint` instances; afterwards every
+    corresponding :func:`simulate` call is a memo hit.  The ``run_*``
+    sweeps call this first so their serial result-assembly loops read from
+    a cache populated at full worker parallelism.
+    """
+    runner.run_points(
+        [
+            p if isinstance(p, SweepPoint) else SweepPoint(p[0], p[1], ops_per_core, seed)
+            for p in points
+        ]
     )
-    result = run_trace(config, trace)
-    _RESULT_CACHE[key] = result
-    return result
 
 
 def simulate_many(
@@ -172,8 +188,12 @@ def mean_std(values: Sequence[float]) -> Tuple[float, float]:
 
 
 def clear_cache() -> None:
-    """Drop memoized results (tests use this for isolation)."""
-    _RESULT_CACHE.clear()
+    """Drop memoized results *and* the persistent disk cache.
+
+    Tests use this for isolation; both layers must go, otherwise a run
+    cleared from memory would silently resurrect from disk.
+    """
+    runner.clear_all()
 
 
 def resolve_workloads(workloads) -> List[str]:
@@ -307,6 +327,10 @@ def run_invalidation_sweep(
     """F2 — conventional sparse: invalidations/1k accesses vs. R."""
     names = resolve_workloads(workloads)
     ratios = list(ratios) if ratios is not None else RATIOS
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, r)) for n in names for r in ratios],
+        ops_per_core, seed,
+    )
     series: Dict[str, List[float]] = {name: [] for name in names}
     for name in names:
         for ratio in ratios:
@@ -338,6 +362,16 @@ def run_performance_sweep(
     names = resolve_workloads(workloads)
     ratios = list(ratios) if ratios is not None else RATIOS
     kinds = list(kinds) if kinds is not None else KINDS
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, 1.0)) for n in names]
+        + [
+            (n, make_config(kind, ratio))
+            for kind in kinds
+            for ratio in (ratios[:1] if kind is DirectoryKind.IDEAL else ratios)
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
 
     per_kind: Dict[str, List[float]] = {}
     raw: Dict[str, Dict[str, List[float]]] = {}
@@ -377,6 +411,18 @@ def run_headline(
 ) -> ExperimentOutput:
     """The abstract's claim, directly: stash@1/8 vs sparse@1x vs sparse@1/8."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [
+            (n, make_config(kind, ratio))
+            for n in names
+            for kind, ratio in (
+                (DirectoryKind.SPARSE, 1.0),
+                (DirectoryKind.SPARSE, 0.125),
+                (DirectoryKind.STASH, 0.125),
+            )
+        ],
+        ops_per_core, seed,
+    )
     rows = []
     ratios_ok = []
     for name in names:
@@ -407,11 +453,16 @@ def run_invalidation_comparison(
     """F4 — directory-induced invalidations: stash vs sparse vs cuckoo."""
     names = resolve_workloads(workloads)
     ratios = list(ratios) if ratios is not None else RATIOS
-    series: Dict[str, List[float]] = {}
-    for kind in (
+    comparison_kinds = (
         DirectoryKind.SPARSE, DirectoryKind.CUCKOO, DirectoryKind.SCD,
         DirectoryKind.STASH,
-    ):
+    )
+    prefetch(
+        [(n, make_config(k, r)) for k in comparison_kinds for r in ratios for n in names],
+        ops_per_core, seed,
+    )
+    series: Dict[str, List[float]] = {}
+    for kind in comparison_kinds:
         values = []
         for ratio in ratios:
             per_wl = [
@@ -439,8 +490,19 @@ def run_traffic_sweep(
     """F5 — hop-weighted NoC traffic normalized to sparse@1x."""
     names = resolve_workloads(workloads)
     ratios = list(ratios) if ratios is not None else RATIOS
+    traffic_kinds = (DirectoryKind.SPARSE, DirectoryKind.CUCKOO, DirectoryKind.STASH)
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, 1.0)) for n in names]
+        + [(n, make_config(k, r)) for k in traffic_kinds for r in ratios for n in names]
+        + [
+            (n, make_config(k, 0.125))
+            for k in (DirectoryKind.SPARSE, DirectoryKind.STASH)
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     series: Dict[str, List[float]] = {}
-    for kind in (DirectoryKind.SPARSE, DirectoryKind.CUCKOO, DirectoryKind.STASH):
+    for kind in traffic_kinds:
         values = []
         for ratio in ratios:
             normalized = []
@@ -490,6 +552,10 @@ def run_discovery_stats(
     """F6 — discovery broadcasts per 1k accesses and false-discovery rate."""
     names = resolve_workloads(workloads)
     ratios = list(ratios) if ratios is not None else RATIOS
+    prefetch(
+        [(n, make_config(DirectoryKind.STASH, r)) for n in names for r in ratios],
+        ops_per_core, seed,
+    )
     rows = []
     data: Dict[str, object] = {}
     for name in names:
@@ -526,6 +592,10 @@ def run_effective_capacity(
 ) -> ExperimentOutput:
     """F7 — effective tracking capacity (entries + live stash bits)."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [(n, make_config(DirectoryKind.STASH, ratio)) for n in names],
+        ops_per_core, seed,
+    )
     rows = []
     data: Dict[str, float] = {}
     sparklines = []
@@ -561,6 +631,16 @@ def run_assoc_sensitivity(
 ) -> ExperimentOutput:
     """F8 — directory associativity sweep at fixed provisioning."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, 1.0)) for n in names]
+        + [
+            (n, make_config(k, ratio, dir_ways=w))
+            for k in (DirectoryKind.SPARSE, DirectoryKind.STASH)
+            for w in ways_list
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     series: Dict[str, List[float]] = {}
     for kind in (DirectoryKind.SPARSE, DirectoryKind.STASH):
         values = []
@@ -593,6 +673,20 @@ def run_core_scaling(
 ) -> ExperimentOutput:
     """F9 — stash vs sparse at R=1/8 as the core count grows."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [
+            (n, make_config(DirectoryKind.SPARSE, 1.0, num_cores=c))
+            for c in core_counts
+            for n in names
+        ]
+        + [
+            (n, make_config(k, ratio, num_cores=c))
+            for k in (DirectoryKind.SPARSE, DirectoryKind.STASH)
+            for c in core_counts
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     series: Dict[str, List[float]] = {}
     for kind in (DirectoryKind.SPARSE, DirectoryKind.STASH):
         values = []
@@ -628,6 +722,16 @@ def run_energy_comparison(
     """F10 — total (dynamic + directory leakage) energy vs sparse@1x."""
     names = resolve_workloads(workloads)
     ratios = list(ratios) if ratios is not None else [1.0, 0.5, 0.25, 0.125]
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, 1.0)) for n in names]
+        + [
+            (n, make_config(k, r))
+            for k in (DirectoryKind.SPARSE, DirectoryKind.STASH)
+            for r in ratios
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     series: Dict[str, List[float]] = {}
     for kind in (DirectoryKind.SPARSE, DirectoryKind.STASH):
         values = []
@@ -665,6 +769,18 @@ def run_seed_stability(
     seeds, demonstrating the headline is not a single-draw artifact.
     """
     names = resolve_workloads(workloads)
+    prefetch(
+        [
+            SweepPoint(n, make_config(kind, ratio, seed=s), ops_per_core, s)
+            for n in names
+            for s in seeds
+            for kind, ratio in (
+                (DirectoryKind.SPARSE, 1.0),
+                (DirectoryKind.SPARSE, 0.125),
+                (DirectoryKind.STASH, 0.125),
+            )
+        ]
+    )
     rows = []
     data: Dict[str, object] = {}
     for name in names:
@@ -709,6 +825,18 @@ def run_private_l2_headline(
     single-level private-domain simplification.
     """
     names = resolve_workloads(workloads)
+    prefetch(
+        [
+            (n, make_config(kind, ratio, private_l2=True))
+            for n in names
+            for kind, ratio in (
+                (DirectoryKind.SPARSE, 1.0),
+                (DirectoryKind.SPARSE, 0.125),
+                (DirectoryKind.STASH, 0.125),
+            )
+        ],
+        ops_per_core, seed,
+    )
     rows = []
     stash_norms = []
     sparse_norms = []
@@ -749,6 +877,15 @@ def run_ablation_eligibility(
 ) -> ExperimentOutput:
     """A1 — stash eligibility: any-private (paper) vs exclusive-only."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, 1.0)) for n in names]
+        + [
+            (n, make_config(DirectoryKind.STASH, ratio, eligibility=e))
+            for e in (StashEligibility.ANY_PRIVATE, StashEligibility.EXCLUSIVE_ONLY)
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     rows = []
     for name in names:
         baseline = simulate(name, make_config(DirectoryKind.SPARSE, 1.0), ops_per_core, seed)
@@ -777,6 +914,14 @@ def run_ablation_notification(
 ) -> ExperimentOutput:
     """A2 — explicit clean-eviction notification vs silent evictions."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [
+            (n, make_config(DirectoryKind.STASH, ratio, clean_notification=notify))
+            for notify in (False, True)
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     rows = []
     for name in names:
         silent = simulate(name, make_config(DirectoryKind.STASH, ratio), ops_per_core, seed)
@@ -811,6 +956,15 @@ def run_ablation_sharers(
 ) -> ExperimentOutput:
     """A3 — sharer representation: storage vs invalidation traffic."""
     names = resolve_workloads(workloads)
+    prefetch(
+        [(n, make_config(DirectoryKind.SPARSE, 1.0)) for n in names]
+        + [
+            (n, make_config(DirectoryKind.STASH, ratio, sharer_format=fmt))
+            for fmt in SharerFormat
+            for n in names
+        ],
+        ops_per_core, seed,
+    )
     rows = []
     for fmt in SharerFormat:
         config = make_config(DirectoryKind.STASH, ratio, sharer_format=fmt)

@@ -1,0 +1,398 @@
+"""Parallel sweep execution engine with a two-layer persistent result cache.
+
+Every figure/table in the evaluation fans out over (directory kind x
+provisioning ratio x workload) sweep points — dozens of independent pure-
+Python simulations.  This module is the one place that executes them:
+
+* **Fan-out** — :func:`run_points` distributes independent sweep points
+  across a :class:`concurrent.futures.ProcessPoolExecutor` (``workers > 1``)
+  with deterministic result ordering: results come back in input order and
+  are byte-identical to a serial run, because each simulation is fully
+  determined by its :class:`SweepPoint`.  ``workers=1`` (the default), a
+  single pending point, or any pool failure (e.g. an unpicklable config)
+  falls back to the plain serial loop.
+* **Persistent cache** — results are cached on disk as JSON under
+  ``.repro_cache/`` (override with ``REPRO_CACHE_DIR`` / ``configure``),
+  keyed by a stable SHA-256 of the full :class:`~repro.common.config.
+  SystemConfig` plus the workload name, trace length and seed.  The key
+  also folds in :data:`CACHE_SCHEMA_VERSION` and :data:`CODE_VERSION`, so
+  bumping either invalidates every stale entry.  Corrupt or truncated
+  files are detected, dropped and recomputed — never crashed on.
+* **In-memory memo** — the per-process memo (shared with
+  :mod:`repro.analysis.experiments`) sits above the disk layer, so hot
+  sweep points never touch the filesystem twice in one process.
+* **Observability** — :data:`counters` tracks memo/disk hit rates,
+  per-point compute wall-times and parallel fallbacks;
+  :func:`counters_summary` renders them (CLI ``--cache-stats``).
+
+Environment knobs (read once at import, overridable via :func:`configure`
+or per-call arguments): ``REPRO_WORKERS`` (worker processes, default 1),
+``REPRO_CACHE_DIR`` (cache root, default ``.repro_cache``) and
+``REPRO_NO_CACHE`` (any non-empty value disables the disk layer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..common.config import SystemConfig
+from ..sim.results import SimulationResult
+from ..sim.simulator import run_trace
+from ..workloads.suite import build_workload
+from .io import FORMAT_VERSION, config_to_dict, result_from_dict, result_to_dict
+
+#: Layout version of the on-disk cache wrapper; bump on wrapper changes.
+CACHE_SCHEMA_VERSION = 1
+
+#: Simulator-semantics version.  Bump whenever a change to the simulator,
+#: protocol, workload generators or timing model alters results for the
+#: same configuration — every existing disk entry is then invalidated
+#: (its key changes) without touching the cache directory.
+CODE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation: a workload run on one configuration."""
+
+    workload: str
+    config: SystemConfig
+    ops_per_core: int = 3000
+    seed: int = 1
+
+    @property
+    def memo_key(self) -> tuple:
+        """Hashable in-memory memo key (the full parameterization)."""
+        return (self.workload, self.ops_per_core, self.seed, self.config)
+
+
+def cache_key(point: SweepPoint) -> str:
+    """Stable content-addressed key for one sweep point.
+
+    SHA-256 over a canonical (sorted-key, no-whitespace) JSON encoding of
+    the complete configuration and workload spec plus the cache and code
+    versions.  Identical parameterizations hash identically across
+    processes and machines; any changed field produces a distinct key.
+    """
+    payload = {
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "code_version": CODE_VERSION,
+        "result_format": FORMAT_VERSION,
+        "workload": point.workload,
+        "ops_per_core": point.ops_per_core,
+        "seed": point.seed,
+        "config": config_to_dict(point.config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """Content-addressed JSON result store under one directory.
+
+    One file per sweep point (``<sha256>.json``), written atomically
+    (temp file + ``os.replace``) so readers never observe partial writes.
+    Unreadable, truncated or version-mismatched files are treated as
+    misses and deleted.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """The file a key maps to (exists only after :meth:`store`)."""
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with open(path) as handle:
+                wrapper = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            counters.corrupt_entries += 1
+            self._discard(path)
+            return None
+        try:
+            if (
+                wrapper.get("cache_schema") != CACHE_SCHEMA_VERSION
+                or wrapper.get("code_version") != CODE_VERSION
+                or wrapper.get("key") != key
+            ):
+                raise ValueError("cache wrapper version/key mismatch")
+            return result_from_dict(wrapper["result"])
+        except Exception:
+            counters.corrupt_entries += 1
+            self._discard(path)
+            return None
+
+    def store(self, key: str, point: SweepPoint, result: SimulationResult) -> None:
+        """Atomically persist one result (best-effort: IO errors ignored)."""
+        wrapper = {
+            "cache_schema": CACHE_SCHEMA_VERSION,
+            "code_version": CODE_VERSION,
+            "key": key,
+            "workload": point.workload,
+            "ops_per_core": point.ops_per_core,
+            "seed": point.seed,
+            "result": result_to_dict(result),
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w") as handle:
+                json.dump(wrapper, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+            counters.disk_writes += 1
+        except OSError:
+            self._discard(tmp)
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.iterdir():
+            if path.suffix == ".json" or ".tmp." in path.name:
+                self._discard(path)
+                removed += 1
+        return removed
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+# ------------------------------------------------------------------ module state
+
+@dataclass
+class RunnerCounters:
+    """Hit-rate and wall-time counters for the sweep engine.
+
+    ``point_seconds`` holds the per-point compute wall-times of the most
+    recent :func:`run_points` batch (cache hits contribute nothing — they
+    are the point).
+    """
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    computed: int = 0
+    disk_writes: int = 0
+    corrupt_entries: int = 0
+    parallel_fallbacks: int = 0
+    parallel_batches: int = 0
+    compute_seconds: float = 0.0
+    batch_seconds: float = 0.0
+    point_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def lookups(self) -> int:
+        """Total sweep points requested (after in-batch deduplication)."""
+        return self.memo_hits + self.disk_hits + self.computed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either cache layer."""
+        total = self.lookups
+        return (self.memo_hits + self.disk_hits) / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (tests and benchmarks)."""
+        self.__init__()
+
+
+#: Process-global counters (reset with ``counters.reset()``).
+counters = RunnerCounters()
+
+#: In-memory memo layered above the disk cache; shared (by object
+#: identity) with ``repro.analysis.experiments._RESULT_CACHE``.
+_MEMO: Dict[tuple, SimulationResult] = {}
+
+_DEFAULTS = {
+    "workers": max(1, int(os.environ.get("REPRO_WORKERS", "1") or "1")),
+    "cache_dir": os.environ.get("REPRO_CACHE_DIR") or ".repro_cache",
+    "cache_enabled": not os.environ.get("REPRO_NO_CACHE"),
+}
+
+
+def configure(
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    cache_enabled: Optional[bool] = None,
+) -> Dict[str, object]:
+    """Set process-wide runner defaults; None leaves a field unchanged.
+
+    Returns the resolved defaults (also the way to inspect them).
+    """
+    if workers is not None:
+        _DEFAULTS["workers"] = max(1, int(workers))
+    if cache_dir is not None:
+        _DEFAULTS["cache_dir"] = str(cache_dir)
+    if cache_enabled is not None:
+        _DEFAULTS["cache_enabled"] = bool(cache_enabled)
+    return dict(_DEFAULTS)
+
+
+def default_cache() -> DiskCache:
+    """A DiskCache rooted at the currently configured directory."""
+    return DiskCache(_DEFAULTS["cache_dir"])
+
+
+def clear_memo() -> None:
+    """Drop the in-memory memo only."""
+    _MEMO.clear()
+
+
+def clear_disk_cache() -> int:
+    """Delete every entry in the configured disk cache; returns the count."""
+    return default_cache().clear()
+
+
+def clear_all() -> None:
+    """Drop both cache layers (test isolation)."""
+    clear_memo()
+    clear_disk_cache()
+
+
+# ------------------------------------------------------------------ execution
+
+def _compute_point(point: SweepPoint) -> Tuple[SimulationResult, float]:
+    """Build the trace and run one sweep point; returns (result, seconds).
+
+    Top-level so :class:`ProcessPoolExecutor` can pickle it; the trace is
+    generated inside the worker (cheap and deterministic) so only the
+    small :class:`SweepPoint` crosses the process boundary.
+    """
+    start = time.perf_counter()
+    trace = build_workload(
+        point.workload,
+        point.config.num_cores,
+        point.ops_per_core,
+        seed=point.seed,
+        block_bytes=point.config.block_bytes,
+    )
+    result = run_trace(point.config, trace)
+    return result, time.perf_counter() - start
+
+
+def _compute_batch(
+    points: Sequence[SweepPoint], workers: int
+) -> List[Tuple[SimulationResult, float]]:
+    """Compute every point, fanning out across processes when asked.
+
+    Output order matches input order regardless of worker scheduling.  Any
+    pool-level failure (pickling, missing OS support, broken pool) falls
+    back to the serial loop so a sweep never dies on parallel plumbing.
+    """
+    if workers > 1 and len(points) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+                computed = list(pool.map(_compute_point, points))
+            counters.parallel_batches += 1
+            return computed
+        except Exception:
+            counters.parallel_fallbacks += 1
+    return [_compute_point(point) for point in points]
+
+
+def run_points(
+    points: Sequence[SweepPoint],
+    workers: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    cache_enabled: Optional[bool] = None,
+) -> List[SimulationResult]:
+    """Execute sweep points through memo -> disk cache -> (parallel) compute.
+
+    Results are returned in input order; duplicate points are simulated
+    once.  Per-call arguments override the configured defaults (None means
+    "use the default").
+    """
+    workers = _DEFAULTS["workers"] if workers is None else max(1, int(workers))
+    use_disk = _DEFAULTS["cache_enabled"] if cache_enabled is None else bool(cache_enabled)
+    disk = DiskCache(cache_dir) if cache_dir is not None else default_cache()
+
+    batch_start = time.perf_counter()
+    results: List[Optional[SimulationResult]] = [None] * len(points)
+    # memo_key -> (point, indices still waiting, disk key)
+    pending: Dict[tuple, Tuple[SweepPoint, List[int], str]] = {}
+    for index, point in enumerate(points):
+        key = point.memo_key
+        hit = _MEMO.get(key)
+        if hit is not None:
+            counters.memo_hits += 1
+            results[index] = hit
+            continue
+        if key in pending:
+            pending[key][1].append(index)
+            continue
+        disk_key = cache_key(point)
+        if use_disk:
+            loaded = disk.load(disk_key)
+            if loaded is not None:
+                counters.disk_hits += 1
+                _MEMO[key] = loaded
+                results[index] = loaded
+                continue
+        pending[key] = (point, [index], disk_key)
+
+    if pending:
+        todo = [entry[0] for entry in pending.values()]
+        computed = _compute_batch(todo, workers)
+        counters.point_seconds = [seconds for _, seconds in computed]
+        for (point, indices, disk_key), (result, seconds) in zip(
+            pending.values(), computed
+        ):
+            counters.computed += 1
+            counters.compute_seconds += seconds
+            _MEMO[point.memo_key] = result
+            if use_disk:
+                disk.store(disk_key, point, result)
+            for index in indices:
+                results[index] = result
+    counters.batch_seconds += time.perf_counter() - batch_start
+    return results  # type: ignore[return-value]
+
+
+def simulate_point(
+    workload: str,
+    config: SystemConfig,
+    ops_per_core: int = 3000,
+    seed: int = 1,
+) -> SimulationResult:
+    """Single-point convenience wrapper over :func:`run_points`."""
+    return run_points([SweepPoint(workload, config, ops_per_core, seed)])[0]
+
+
+def counters_summary() -> str:
+    """One-paragraph human-readable counter report."""
+    c = counters
+    lines = [
+        "sweep runner counters:",
+        f"  lookups        {c.lookups}  (memo {c.memo_hits}, disk {c.disk_hits}, "
+        f"computed {c.computed})",
+        f"  hit rate       {c.hit_rate:.1%}",
+        f"  compute time   {c.compute_seconds:.2f}s over {c.computed} points"
+        + (
+            f" (last batch: {len(c.point_seconds)} points, "
+            f"max {max(c.point_seconds):.2f}s)"
+            if c.point_seconds
+            else ""
+        ),
+        f"  batch time     {c.batch_seconds:.2f}s  "
+        f"(parallel batches {c.parallel_batches}, fallbacks {c.parallel_fallbacks})",
+        f"  disk           writes {c.disk_writes}, corrupt dropped {c.corrupt_entries}",
+    ]
+    return "\n".join(lines)

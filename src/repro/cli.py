@@ -19,6 +19,12 @@ Subcommands:
 
 Every command prints plain text (the same tables the benchmark harness
 emits) and returns a non-zero exit code on error.
+
+Global sweep-engine flags (give them *before* the subcommand):
+``--workers N`` fans independent sweep points across N worker processes,
+``--cache-dir PATH`` / ``--no-cache`` control the persistent result cache,
+and ``--cache-stats`` prints hit-rate/wall-time counters to stderr (see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -267,6 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sim",
         description="Stash Directory (HPCA 2014) reproduction toolkit",
     )
+    # Sweep-engine knobs (global: give them before the subcommand).
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for sweep fan-out (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent result-cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache for this invocation",
+    )
+    parser.add_argument(
+        "--cache-stats", action="store_true",
+        help="print sweep-runner hit-rate/wall-time counters to stderr on exit",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help=cmd_run.__doc__)
@@ -355,11 +378,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    from .analysis import runner
+
+    previous = runner.configure()
+    runner.configure(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        cache_enabled=False if args.no_cache else None,
+    )
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if args.cache_stats:
+            print(runner.counters_summary(), file=sys.stderr)
+        runner.configure(**previous)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

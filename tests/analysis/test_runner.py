@@ -1,0 +1,241 @@
+"""Tests for the parallel sweep engine and its persistent result cache.
+
+Covers the satellite requirements explicitly: cache-key stability within
+and across processes, key sensitivity to every parameter, corruption
+tolerance (truncated/garbage/mismatched files are recomputed, never
+crashed on), parallel/serial result identity, and two-layer clearing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.analysis import runner
+from repro.analysis.experiments import make_config
+from repro.common.config import DirectoryKind
+from tests.conftest import tiny_config
+
+OPS = 200
+
+
+def tiny_point(seed: int = 1, ops: int = OPS, workload: str = "blackscholes-like", **cfg):
+    """A fast-to-simulate sweep point over the shared tiny 4-core config."""
+    return runner.SweepPoint(
+        workload, tiny_config(check_invariants=False, **cfg), ops, seed
+    )
+
+
+@pytest.fixture(autouse=True)
+def fresh_state(tmp_path):
+    """Cold memo, fresh counters, and restored runner defaults per test."""
+    previous = runner.configure()
+    runner.clear_memo()
+    runner.counters.reset()
+    yield
+    runner.configure(**previous)
+    runner.clear_memo()
+    runner.counters.reset()
+
+
+class TestCacheKey:
+    def test_identical_points_hash_identically(self):
+        assert runner.cache_key(tiny_point()) == runner.cache_key(tiny_point())
+
+    def test_key_is_hex_sha256(self):
+        key = runner.cache_key(tiny_point())
+        assert len(key) == 64
+        int(key, 16)
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            tiny_point(seed=2),
+            tiny_point(ops=OPS + 1),
+            tiny_point(workload="mix"),
+            tiny_point(kind=DirectoryKind.SPARSE),
+            tiny_point(ratio=0.5),
+            tiny_point(dir_ways=1),
+        ],
+    )
+    def test_any_changed_field_changes_key(self, variant):
+        assert runner.cache_key(variant) != runner.cache_key(tiny_point())
+
+    def test_protocol_changes_key(self):
+        mesi = runner.SweepPoint("mix", make_config(), OPS, 1)
+        moesi = runner.SweepPoint("mix", make_config(moesi=True), OPS, 1)
+        assert runner.cache_key(mesi) != runner.cache_key(moesi)
+
+    def test_code_version_changes_key(self, monkeypatch):
+        before = runner.cache_key(tiny_point())
+        monkeypatch.setattr(runner, "CODE_VERSION", runner.CODE_VERSION + 1)
+        assert runner.cache_key(tiny_point()) != before
+
+    def test_key_stable_across_processes(self):
+        """The same parameterization hashes identically in a fresh process."""
+        program = (
+            "from repro.analysis import runner\n"
+            "from repro.analysis.experiments import make_config\n"
+            "from repro.common.config import DirectoryKind\n"
+            "point = runner.SweepPoint("
+            "'mix', make_config(DirectoryKind.STASH, 0.125, seed=3), 500, 3)\n"
+            "print(runner.cache_key(point))\n"
+        )
+        src = Path(runner.__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+        child = subprocess.run(
+            [sys.executable, "-c", program],
+            capture_output=True, text=True, timeout=60, env=env,
+        )
+        assert child.returncode == 0, child.stderr
+        local = runner.cache_key(
+            runner.SweepPoint(
+                "mix", make_config(DirectoryKind.STASH, 0.125, seed=3), 500, 3
+            )
+        )
+        assert child.stdout.strip() == local
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path):
+        point = tiny_point()
+        [cold] = runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        assert runner.counters.computed == 1
+        runner.clear_memo()
+        [warm] = runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        assert runner.counters.disk_hits == 1
+        assert runner.counters.computed == 1  # no re-simulation
+        assert warm == cold
+
+    def test_memo_layer_above_disk(self, tmp_path):
+        point = tiny_point()
+        runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        assert runner.counters.memo_hits == 1
+        assert runner.counters.disk_hits == 0
+
+    def test_duplicate_points_computed_once(self, tmp_path):
+        point = tiny_point()
+        results = runner.run_points(
+            [point, point, point], cache_dir=tmp_path, cache_enabled=True
+        )
+        assert runner.counters.computed == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_cache_disabled_writes_nothing(self, tmp_path):
+        runner.run_points([tiny_point()], cache_dir=tmp_path, cache_enabled=False)
+        assert not list(tmp_path.glob("*.json"))
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            b"",                                # empty file
+            b"not json at all {{{",             # garbage
+            b'{"cache_schema": 999}',           # wrong wrapper version
+            b'{"truncated": ',                  # partial write
+        ],
+    )
+    def test_corrupt_entry_recomputed_not_crashed(self, tmp_path, corruption):
+        point = tiny_point()
+        [first] = runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        cache = runner.DiskCache(tmp_path)
+        path = cache.path_for(runner.cache_key(point))
+        path.write_bytes(corruption)
+        runner.clear_memo()
+        [again] = runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        assert again == first
+        assert runner.counters.computed == 2  # recomputed after the corruption
+        assert runner.counters.corrupt_entries >= 1
+        assert not path.exists() or json.loads(path.read_text())  # repaired
+
+    def test_key_mismatch_inside_wrapper_rejected(self, tmp_path):
+        point = tiny_point()
+        runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        cache = runner.DiskCache(tmp_path)
+        key = runner.cache_key(point)
+        wrapper = json.loads(cache.path_for(key).read_text())
+        wrapper["key"] = "0" * 64
+        cache.path_for(key).write_text(json.dumps(wrapper))
+        assert cache.load(key) is None
+
+    def test_clear_counts_entries(self, tmp_path):
+        for seed in (1, 2, 3):
+            runner.run_points(
+                [tiny_point(seed=seed)], cache_dir=tmp_path, cache_enabled=True
+            )
+        assert runner.DiskCache(tmp_path).clear() == 3
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, tmp_path):
+        points = [tiny_point(seed=seed) for seed in (1, 2, 3, 4)]
+        serial = runner.run_points(points, workers=1, cache_enabled=False)
+        runner.clear_memo()
+        parallel = runner.run_points(points, workers=2, cache_enabled=False)
+        assert parallel == serial
+        assert runner.counters.parallel_batches == 1
+
+    def test_parallel_preserves_input_order(self):
+        points = [tiny_point(seed=seed) for seed in (5, 6)]
+        results = runner.run_points(points, workers=2, cache_enabled=False)
+        assert [r.config.seed for r in results] == [7, 7]  # tiny_config pins seed=7
+        assert results[0] != results[1]  # different trace seeds, different runs
+
+    def test_single_pending_point_stays_serial(self):
+        runner.run_points([tiny_point()], workers=4, cache_enabled=False)
+        assert runner.counters.parallel_batches == 0
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process support here")
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", BrokenPool)
+        points = [tiny_point(seed=seed) for seed in (1, 2)]
+        results = runner.run_points(points, workers=2, cache_enabled=False)
+        assert len(results) == 2 and all(results)
+        assert runner.counters.parallel_fallbacks == 1
+
+
+class TestExperimentsIntegration:
+    def test_simulate_uses_both_layers(self, tmp_path):
+        runner.configure(cache_dir=tmp_path)
+        config = tiny_config(check_invariants=False)
+        first = exp.simulate("mix", config, OPS, 1)
+        runner.clear_memo()
+        second = exp.simulate("mix", config, OPS, 1)
+        assert second == first
+        assert runner.counters.disk_hits == 1
+
+    def test_clear_cache_clears_disk_too(self, tmp_path):
+        runner.configure(cache_dir=tmp_path)
+        exp.simulate("mix", tiny_config(check_invariants=False), OPS, 1)
+        assert list(Path(tmp_path).glob("*.json"))
+        exp.clear_cache()
+        assert not list(Path(tmp_path).glob("*.json"))
+        assert not runner._MEMO
+
+    def test_memo_shared_with_experiments(self):
+        assert exp._RESULT_CACHE is runner._MEMO
+
+    def test_prefetch_populates_memo(self, tmp_path):
+        runner.configure(cache_dir=tmp_path)
+        config = tiny_config(check_invariants=False)
+        exp.prefetch([("mix", config)], OPS, 1)
+        assert runner.counters.computed == 1
+        exp.simulate("mix", config, OPS, 1)
+        assert runner.counters.memo_hits == 1
+
+    def test_counters_summary_renders(self):
+        exp.simulate("mix", tiny_config(check_invariants=False), OPS, 1)
+        text = runner.counters_summary()
+        assert "hit rate" in text
+        assert "compute time" in text

@@ -46,6 +46,23 @@ def tiny_config(
     )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_disk_cache(tmp_path_factory):
+    """Route the sweep runner's persistent cache into a session temp dir.
+
+    Keeps the test run hermetic: nothing is read from or written to a
+    developer's ``.repro_cache``, and parallel fan-out stays off unless a
+    test opts in explicitly.
+    """
+    from repro.analysis import runner
+
+    runner.configure(
+        workers=1,
+        cache_dir=str(tmp_path_factory.mktemp("repro_cache")),
+        cache_enabled=True,
+    )
+
+
 @pytest.fixture
 def rng() -> DeterministicRng:
     """A seeded RNG."""

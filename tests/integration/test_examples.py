@@ -4,8 +4,10 @@ Run via subprocess with small parameters so the full suite stays fast; a
 broken public API surfaces here the way a downstream user would hit it.
 """
 
+import os
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 import pytest
@@ -14,12 +16,17 @@ EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
 
 
 def run_example(script: str, *args: str) -> str:
-    result = subprocess.run(
-        [sys.executable, str(EXAMPLES / script), *args],
-        capture_output=True,
-        text=True,
-        timeout=300,
-    )
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # Hermetic: the sweep runner's persistent cache goes to a temp dir,
+        # not the developer's .repro_cache.
+        env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / script), *args],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env=env,
+        )
     assert result.returncode == 0, result.stderr
     return result.stdout
 
