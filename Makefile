@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench bench-scaling examples docs clean
+.PHONY: install test bench quick-bench bench-scaling bench-hotpath examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -27,6 +27,12 @@ quick-bench:
 bench-scaling:
 	$(PYTHON) -m pytest benchmarks/bench_runner_scaling.py --benchmark-only
 
+# Hot-path throughput: accesses/sec per directory kind vs the frozen
+# pre-overhaul baseline (writes BENCH_hotpath.json; see
+# docs/PERFORMANCE.md).  Append `--smoke` by hand for a quick CI-style run.
+bench-hotpath:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/directory_scaling.py swaptions-like 1000
@@ -35,7 +41,7 @@ examples:
 	$(PYTHON) examples/noc_and_dram_analysis.py mix 1000
 
 docs:
-	$(PYTHON) tools/gen_api_docs.py docs/API.md
+	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py docs/API.md
 
 clean:
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -288,6 +288,21 @@ def _compute_point(point: SweepPoint) -> Tuple[SimulationResult, float]:
     return result, time.perf_counter() - start
 
 
+def _effective_workers(requested: Optional[int]) -> int:
+    """Resolve a per-call ``workers`` argument to the count actually used.
+
+    An explicit request is honored as-is (floored at 1) — tests and
+    benchmarks deliberately oversubscribe.  The configured *default* is
+    clamped to ``os.cpu_count()``: spawning more sweep processes than
+    cores only adds pool overhead, and on a single-CPU host the clamp
+    makes the default path purely serial (no executor at all).
+    """
+    if requested is not None:
+        return max(1, int(requested))
+    configured = int(_DEFAULTS["workers"])
+    return max(1, min(configured, os.cpu_count() or 1))
+
+
 def _compute_batch(
     points: Sequence[SweepPoint], workers: int
 ) -> List[Tuple[SimulationResult, float]]:
@@ -297,14 +312,16 @@ def _compute_batch(
     pool-level failure (pickling, missing OS support, broken pool) falls
     back to the serial loop so a sweep never dies on parallel plumbing.
     """
-    if workers > 1 and len(points) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
-                computed = list(pool.map(_compute_point, points))
-            counters.parallel_batches += 1
-            return computed
-        except Exception:
-            counters.parallel_fallbacks += 1
+    if workers <= 1 or len(points) <= 1:
+        # Explicit serial path: one worker never pays for an executor.
+        return [_compute_point(point) for point in points]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
+            computed = list(pool.map(_compute_point, points))
+        counters.parallel_batches += 1
+        return computed
+    except Exception:
+        counters.parallel_fallbacks += 1
     return [_compute_point(point) for point in points]
 
 
@@ -320,7 +337,7 @@ def run_points(
     once.  Per-call arguments override the configured defaults (None means
     "use the default").
     """
-    workers = _DEFAULTS["workers"] if workers is None else max(1, int(workers))
+    workers = _effective_workers(workers)
     use_disk = _DEFAULTS["cache_enabled"] if cache_enabled is None else bool(cache_enabled)
     disk = DiskCache(cache_dir) if cache_dir is not None else default_cache()
 

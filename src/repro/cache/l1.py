@@ -34,6 +34,13 @@ class L1Cache:
         self.config = config
         self.stats = stats
         self._array = CacheArray(config, rng, stats.child("array"))
+        # Hot-path handles: these operations are pure delegations to the
+        # array, so the instance binds them directly and callers skip a
+        # wrapper frame per event.
+        self.lookup_block = self._array.lookup
+        self.probe = self._array.lookup
+        self.peek_fill_victim = self._array.peek_victim
+        self.invalidate = self._array.remove
 
     # -- lookups -------------------------------------------------------------
 
@@ -47,7 +54,11 @@ class L1Cache:
         return block, ("l1" if block is not None else "miss")
 
     def probe(self, block_addr: int, touch: bool = True) -> Optional[CacheBlock]:
-        """Return the line if cached (any valid state), else None."""
+        """Return the line if cached (any valid state), else None.
+
+        Shadowed per instance by the bound array lookup (same signature);
+        kept for documentation and subclass overriding.
+        """
         return self._array.lookup(block_addr, touch=touch)
 
     def state_of(self, block_addr: int) -> MesiState:

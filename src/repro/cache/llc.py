@@ -43,6 +43,16 @@ class SharedLLC:
         self.num_banks = num_banks
         self.stats = stats
         self._array = CacheArray(config, rng, stats.child("array"))
+        # Hot-path handles: pure delegations bound per instance so the
+        # protocol engine's probes skip a wrapper frame (signatures match
+        # the shadowed methods below).
+        self.probe = self._array.lookup
+        self.contains = self._array.contains
+        self.peek_fill_victim = self._array.peek_victim
+        self.invalidate = self._array.remove
+        # Writebacks are absorbed once per dirty L1 eviction/downgrade:
+        # bound counter cell, created on first event.
+        self._c_writebacks = None
 
     # -- geometry ------------------------------------------------------------
 
@@ -123,7 +133,10 @@ class SharedLLC:
         block.dirty = True
         if version > block.version:
             block.version = version
-        self.stats.add("writebacks_absorbed")
+        cell = self._c_writebacks
+        if cell is None:
+            cell = self._c_writebacks = self.stats.counter("writebacks_absorbed")
+        cell.value += 1
         return block
 
     # -- inspection ------------------------------------------------------------

@@ -50,26 +50,32 @@ class ReplacementPolicy:
 
 
 class LruPolicy(ReplacementPolicy):
-    """True least-recently-used, via a monotonically increasing clock."""
+    """True least-recently-used, via a monotonically increasing clock.
+
+    This is the default policy of every set-associative structure, so its
+    hooks are the hottest replacement code in the simulator: ``on_access``
+    and ``on_fill`` are one shared flat method (no helper dispatch) and
+    ``victim`` selects via the list's own ``__getitem__`` instead of a
+    per-call closure.
+    """
 
     def __init__(self, ways: int) -> None:
         super().__init__(ways)
         self._clock = 0
         self._last_use: List[int] = [0] * ways
-
-    def _tick(self, way: int) -> None:
-        self._clock += 1
-        self._last_use[way] = self._clock
+        self._all_ways = range(ways)
 
     def on_access(self, way: int) -> None:
-        self._tick(way)
+        self._clock = clock = self._clock + 1
+        self._last_use[way] = clock
 
-    def on_fill(self, way: int) -> None:
-        self._tick(way)
+    # A fill touches exactly like an access; sharing the function object
+    # keeps the common path monomorphic.
+    on_fill = on_access
 
     def victim(self, candidates: Optional[Sequence[int]] = None) -> int:
-        ways = range(self.ways) if candidates is None else candidates
-        return min(ways, key=lambda w: self._last_use[w])
+        ways = self._all_ways if candidates is None else candidates
+        return min(ways, key=self._last_use.__getitem__)
 
 
 class TreePlruPolicy(ReplacementPolicy):

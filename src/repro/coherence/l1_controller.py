@@ -6,18 +6,33 @@ required permission), charges local latencies, and escalates to the
 needs the directory.  Coverage-miss attribution — "this miss exists because
 a directory eviction invalidated my copy" — happens here, at the moment the
 miss is detected.
+
+This is the hottest code in the simulator — :meth:`L1Controller.access` runs
+once per trace operation — so the fast paths are flat: hit/miss-detect
+latencies are precomputed at construction, MESI checks compare raw ints
+(no enum construction), the silent E->M upgrade mutates the block in place,
+the grant from the home is a plain ``(latency, state, version)`` tuple, and
+the per-access statistics are bound counter cells.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..cache.l1 import L1Cache
 from ..common.config import TimingConfig
 from ..common.errors import ProtocolError
-from ..common.stats import StatGroup
+from ..common.stats import StatCounter, StatGroup
 from ..noc.network import Network
 from ..noc.traffic import MessageClass
 from .llc_controller import HomeController
-from .states import MesiState, can_write
+from .states import MesiState
+
+# Raw int MESI states: the hit path never constructs a MesiState.
+_S_SHARED = int(MesiState.SHARED)
+_S_EXCLUSIVE = int(MesiState.EXCLUSIVE)
+_S_MODIFIED = int(MesiState.MODIFIED)
+_S_OWNED = int(MesiState.OWNED)
 
 
 class L1Controller:
@@ -40,82 +55,146 @@ class L1Controller:
         self.stats = stats
         # Private L2 present? (PrivateHierarchy exposes l2_config.)
         self.has_l2 = hasattr(l1, "l2_config")
+        # Single-level caches expose the array lookup directly; the hit path
+        # then skips the (block, level) tuple of access_block entirely.
+        self._fast_lookup = None if self.has_l2 else getattr(l1, "lookup_block", None)
+        # Home-side handles hoisted once (the home object never changes).
+        self._bank_mask = home.llc.num_banks - 1
+        self._serve_miss = home.serve_miss
+        self._handle_put = home.handle_put
+        self._handle_upgrade = home.handle_upgrade
+        self._filter_add = home.filter_add
+        self._mint_version = home.mint_version
+        # The per-core coverage-attribution set is mutated in place, never
+        # reassigned, so the controller can hold it directly.
+        self._dir_invalidated = home.dir_invalidated[core_id]
+        # Precomputed latencies (access() consults these every operation).
+        self._lat_l1_hit = timing.l1_hit
+        self._lat_l2_hit = timing.l1_hit + timing.l2_hit
+        # A miss checked both private levels when an L2 exists.
+        self._lat_miss_detect = self._lat_l2_hit if self.has_l2 else self._lat_l1_hit
+        # Per-access counters, bound on first event (shape-preserving).
+        self._c_accesses: Optional[StatCounter] = None
+        self._c_reads: Optional[StatCounter] = None
+        self._c_writes: Optional[StatCounter] = None
+        self._c_l1_hits: Optional[StatCounter] = None
+        self._c_l2_hits: Optional[StatCounter] = None
+        self._c_l1_misses: Optional[StatCounter] = None
+        self._c_upgrade_misses: Optional[StatCounter] = None
+        self._c_coverage_misses: Optional[StatCounter] = None
 
     def _hit_latency(self, level: str) -> int:
-        if level == "l2":
-            return self.timing.l1_hit + self.timing.l2_hit
-        return self.timing.l1_hit
+        return self._lat_l2_hit if level == "l2" else self._lat_l1_hit
 
     def _miss_detect_latency(self) -> int:
-        # A miss checked both private levels when an L2 exists.
-        if self.has_l2:
-            return self.timing.l1_hit + self.timing.l2_hit
-        return self.timing.l1_hit
+        return self._lat_miss_detect
 
     def access(self, addr: int, is_write: bool) -> int:
         """Perform one memory operation; returns its latency in cycles."""
-        self.stats.add("accesses")
-        self.stats.add("writes" if is_write else "reads")
-        block, level = self.l1.access_block(addr)
+        cell = self._c_accesses
+        if cell is None:
+            cell = self._c_accesses = self.stats.counter("accesses")
+        cell.value += 1
+        if is_write:
+            cell = self._c_writes
+            if cell is None:
+                cell = self._c_writes = self.stats.counter("writes")
+        else:
+            cell = self._c_reads
+            if cell is None:
+                cell = self._c_reads = self.stats.counter("reads")
+        cell.value += 1
+        fast_lookup = self._fast_lookup
+        if fast_lookup is not None:
+            block = fast_lookup(addr)
+            level_l1 = True
+        else:
+            block, level = self.l1.access_block(addr)
+            level_l1 = level == "l1"
         if block is not None:
-            state = MesiState(block.state)
-            hit_counter = "l1_hits" if level == "l1" else "l2_hits"
+            if level_l1:
+                hit_cell = self._c_l1_hits
+                if hit_cell is None:
+                    hit_cell = self._c_l1_hits = self.stats.counter("l1_hits")
+                hit_latency = self._lat_l1_hit
+            else:
+                hit_cell = self._c_l2_hits
+                if hit_cell is None:
+                    hit_cell = self._c_l2_hits = self.stats.counter("l2_hits")
+                hit_latency = self._lat_l2_hit
             if not is_write:
-                self.stats.add(hit_counter)
-                return self._hit_latency(level)
-            if can_write(state):
+                hit_cell.value += 1
+                return hit_latency
+            state = block.state
+            if state == _S_MODIFIED or state == _S_EXCLUSIVE:
                 # M hit, or silent E -> M upgrade: no protocol message.
-                self.stats.add(hit_counter)
-                self.l1.upgrade_to_modified(addr)
-                block.version = self.home.mint_version(addr)
-                return self._hit_latency(level)
-            if state not in (MesiState.SHARED, MesiState.OWNED):  # pragma: no cover
-                raise ProtocolError(f"write hit in unexpected state {state}")
+                hit_cell.value += 1
+                block.state = _S_MODIFIED
+                block.dirty = True
+                block.version = self._mint_version(addr)
+                return hit_latency
+            if state != _S_SHARED and state != _S_OWNED:  # pragma: no cover
+                raise ProtocolError(
+                    f"write hit in unexpected state {MesiState(state)}"
+                )
             # S (and MOESI's O) write hits need an upgrade: other copies
             # must be invalidated before write permission is granted.
-            return self._upgrade(addr, block, self._hit_latency(level))
+            return self._upgrade(addr, block, hit_latency)
         return self._miss(addr, is_write)
 
     # -- upgrade (write hit on an S copy) ---------------------------------------
 
     def _upgrade(self, addr: int, block, local_latency: int) -> int:
-        self.stats.add("upgrade_misses")
-        home_tile = self.home.home_tile(addr)
+        cell = self._c_upgrade_misses
+        if cell is None:
+            cell = self._c_upgrade_misses = self.stats.counter("upgrade_misses")
+        cell.value += 1
+        home_tile = addr & self._bank_mask
         latency = local_latency
         latency += self.network.send(self.core_id, home_tile, MessageClass.REQUEST)
-        latency += self.home.handle_upgrade(self.core_id, addr)
-        self.l1.upgrade_to_modified(addr)
-        block.version = self.home.mint_version(addr)
+        latency += self._handle_upgrade(self.core_id, addr)
+        block.state = _S_MODIFIED
+        block.dirty = True
+        block.version = self._mint_version(addr)
         return latency
 
     # -- miss -------------------------------------------------------------------
 
     def _miss(self, addr: int, is_write: bool) -> int:
-        self.stats.add("l1_misses")
-        if addr in self.home.dir_invalidated[self.core_id]:
+        cell = self._c_l1_misses
+        if cell is None:
+            cell = self._c_l1_misses = self.stats.counter("l1_misses")
+        cell.value += 1
+        core_id = self.core_id
+        invalidated = self._dir_invalidated
+        if addr in invalidated:
             # This copy was lost to a directory eviction: a coverage miss.
-            self.home.dir_invalidated[self.core_id].discard(addr)
-            self.stats.add("coverage_misses")
+            invalidated.discard(addr)
+            cell = self._c_coverage_misses
+            if cell is None:
+                cell = self._c_coverage_misses = self.stats.counter("coverage_misses")
+            cell.value += 1
 
         # Make room first, so the home never races our victim.
-        victim = self.l1.peek_fill_victim(addr)
+        l1 = self.l1
+        victim = l1.peek_fill_victim(addr)
         if victim is not None:
-            removed = self.l1.invalidate(victim.addr)
+            removed = l1.invalidate(victim.addr)
             assert removed is not None
-            self.home.handle_put(
-                self.core_id, removed.addr, bool(removed.dirty), removed.version
+            self._handle_put(
+                core_id, removed.addr, bool(removed.dirty), removed.version
             )
 
-        home_tile = self.home.home_tile(addr)
-        latency = self._miss_detect_latency()
-        latency += self.network.send(self.core_id, home_tile, MessageClass.REQUEST)
-        grant = self.home.handle_miss(self.core_id, addr, is_write)
-        latency += grant.latency
+        home_tile = addr & self._bank_mask
+        latency = self._lat_miss_detect
+        latency += self.network.send(core_id, home_tile, MessageClass.REQUEST)
+        grant_latency, state, version = self._serve_miss(core_id, addr, is_write)
+        latency += grant_latency
 
-        filled = self.l1.fill(addr, grant.state, grant.version)
-        self.home.filter_add(self.core_id, addr)
+        filled = l1.fill(addr, state, version)
+        self._filter_add(core_id, addr)
         if is_write:
-            if grant.state is not MesiState.MODIFIED:  # pragma: no cover
-                raise ProtocolError(f"write miss granted {grant.state}")
-            filled.version = self.home.mint_version(addr)
+            if state != _S_MODIFIED:  # pragma: no cover
+                raise ProtocolError(f"write miss granted {MesiState(state)}")
+            filled.version = self._mint_version(addr)
         return latency

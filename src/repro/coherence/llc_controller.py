@@ -19,18 +19,27 @@ Data values are modeled as monotonically increasing per-block *versions*
 (see DESIGN.md): every write mints a new version, and the data-value
 invariant — a reader observes the latest committed version — is checked
 end-to-end by the invariant suite.
+
+Hot-path note: the miss pipeline runs once per L1 miss, so it is written
+allocation-free.  :meth:`HomeController.serve_miss` and its helpers pass
+``(latency, state, version)`` tuples with *raw int* MESI states instead of
+minting a :class:`GrantResult` per transaction; :meth:`handle_miss` remains
+as the object-returning wrapper for external callers and tests.  Timing
+fields and the network send are hoisted into instance slots, and the
+per-miss statistics use bound counter cells (see
+:meth:`~repro.common.stats.StatGroup.counter`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..cache.l1 import L1Cache
 from ..cache.llc import SharedLLC
 from ..common.config import SystemConfig
 from ..common.errors import ProtocolError
-from ..common.stats import StatGroup
+from ..common.stats import StatCounter, StatGroup
 from ..core.discovery import DiscoveryDemand, DiscoveryEngine
 from ..directory.base import Directory, DirectoryEntry, Eviction, EvictionAction
 from ..mem import Memory
@@ -38,10 +47,24 @@ from ..noc.network import Network
 from ..noc.traffic import MessageClass
 from .states import CoherenceProtocol, MesiState
 
+# Raw int MESI states for the tuple-based grant path (no enum construction
+# per transaction; MesiState is an IntEnum so == comparisons interoperate).
+_S_SHARED = int(MesiState.SHARED)
+_S_EXCLUSIVE = int(MesiState.EXCLUSIVE)
+_S_MODIFIED = int(MesiState.MODIFIED)
+
+#: ``(latency, state, version)`` — the internal allocation-free grant.
+Grant = Tuple[int, int, int]
+
 
 @dataclass
 class GrantResult:
-    """What the home hands back to the requesting L1 controller."""
+    """What the home hands back to the requesting L1 controller.
+
+    External interface only: the in-simulator miss path uses raw
+    ``(latency, state, version)`` tuples (see :meth:`HomeController.serve_miss`)
+    and never instantiates this class.
+    """
 
     latency: int          # critical-path cycles at and beyond the home
     state: MesiState      # MESI state granted to the requester
@@ -71,6 +94,20 @@ class HomeController:
         self.discovery = discovery
         self.stats = stats
         self.timing = config.timing
+        # Hot-path hoists: consulted on every miss/upgrade.
+        self._t_dir = config.timing.directory_access
+        self._t_llc = config.timing.llc_access
+        self._t_l1 = config.timing.l1_hit
+        self._home_occupancy = config.timing.home_occupancy
+        self._send = network.send
+        self._dir_lookup = directory.lookup
+        self._bank_of = llc.bank_of
+        # Inline of home_bank(): low-order block-address bits pick the bank.
+        self._bank_mask = llc.num_banks - 1
+        # Per-core bound methods: the invalidation/forward loops index these
+        # instead of re-binding l1s[i].<method> per message.
+        self._l1_probe = [l1.probe for l1 in l1s]
+        self._l1_invalidate = [l1.invalidate for l1 in l1s]
         # Requester's current clock, set by CoherentSystem.access before each
         # transaction; consumed by the (optional) DRAM timing model and the
         # (optional) home-bank contention model.
@@ -93,6 +130,22 @@ class HomeController:
         # directory eviction; a later miss by that core on that block is a
         # coverage miss.
         self.dir_invalidated: List[Set[int]] = [set() for _ in l1s]
+        # Per-miss statistics, bound on first event so untouched counters
+        # stay absent from the stats tree (exact pre-optimization shape).
+        self._c_llc_hits: Optional[StatCounter] = None
+        self._c_llc_misses: Optional[StatCounter] = None
+        self._c_forwards: Optional[StatCounter] = None
+        self._c_upgrade_requests: Optional[StatCounter] = None
+        self._c_l1_writebacks: Optional[StatCounter] = None
+        self._c_silent_clean_evictions: Optional[StatCounter] = None
+        self._c_write_inval_msgs: Optional[StatCounter] = None
+        self._c_dir_eviction_inval_msgs: Optional[StatCounter] = None
+        self._c_dir_induced_invalidations: Optional[StatCounter] = None
+        self._c_dir_evictions_private: Optional[StatCounter] = None
+        self._c_dir_evictions_shared: Optional[StatCounter] = None
+        self._c_llc_evictions: Optional[StatCounter] = None
+        self._c_stash_evictions: Optional[StatCounter] = None
+        self._c_empty_deallocs: Optional[StatCounter] = None
 
     # ------------------------------------------------------------------ utils
 
@@ -107,8 +160,8 @@ class HomeController:
         return self._version_clock
 
     def _roundtrip(self, a: int, b: int, out: MessageClass, back: MessageClass) -> int:
-        lat = self.network.send(a, b, out)
-        return lat + self.network.send(b, a, back)
+        send = self._send
+        return send(a, b, out) + send(b, a, back)
 
     def _home_wait(self, home: int) -> int:
         """Queueing delay at the home bank's controller (0 when disabled).
@@ -117,7 +170,7 @@ class HomeController:
         cycles; requests arriving while the bank is busy wait out the
         residual.  Uses the requester's clock as the arrival time.
         """
-        occupancy = self.timing.home_occupancy
+        occupancy = self._home_occupancy
         if occupancy == 0:
             return 0
         wait = max(0.0, self._home_busy_until[home] - self.now)
@@ -146,15 +199,26 @@ class HomeController:
     # ---------------------------------------------------------------- misses
 
     def handle_miss(self, core: int, addr: int, is_write: bool) -> GrantResult:
-        """Serve an L1 miss (GetS/GetM) for ``core``.
+        """Serve an L1 miss (GetS/GetM) for ``core``; object-returning wrapper.
+
+        External interface (tests, tools): the simulator's own L1 controller
+        calls :meth:`serve_miss` and consumes the raw tuple directly.
+        """
+        latency, state, version = self.serve_miss(core, addr, is_write)
+        return GrantResult(latency, MesiState(state), version)
+
+    def serve_miss(self, core: int, addr: int, is_write: bool) -> Grant:
+        """Serve an L1 miss; returns ``(latency, state, version)``.
 
         The request message itself (core -> home) is charged by the caller;
         this method charges everything from the directory access onward,
         including the response back to the core.
         """
-        home = self.home_tile(addr)
-        latency = self.timing.directory_access + self._home_wait(home)
-        entry = self.directory.lookup(addr)
+        home = addr & self._bank_mask
+        latency = self._t_dir
+        if self._home_occupancy:
+            latency += self._home_wait(home)
+        entry = self._dir_lookup(addr)
         if entry is not None:
             if is_write:
                 return self._dir_hit_write(core, addr, entry, home, latency)
@@ -165,7 +229,7 @@ class HomeController:
 
     def _dir_hit_read(
         self, core: int, addr: int, entry: DirectoryEntry, home: int, latency: int
-    ) -> GrantResult:
+    ) -> Grant:
         owner = entry.owner
         if owner is not None and owner != core:
             return self._forward_read(core, addr, entry, owner, home, latency)
@@ -175,11 +239,11 @@ class HomeController:
             self.stats.add("self_regrants")
             latency += self._serve_from_llc(core, addr, home)
             entry.grant_exclusive(core)
-            return GrantResult(latency, MesiState.EXCLUSIVE, self._llc_version(addr))
+            return latency, _S_EXCLUSIVE, self._llc_version(addr)
         # Shared (or stale-believed) entry: data lives in the LLC.
         latency += self._serve_from_llc(core, addr, home)
         entry.add_sharer(core)
-        return GrantResult(latency, MesiState.SHARED, self._llc_version(addr))
+        return latency, _S_SHARED, self._llc_version(addr)
 
     def _forward_read(
         self,
@@ -189,51 +253,54 @@ class HomeController:
         owner: int,
         home: int,
         latency: int,
-    ) -> GrantResult:
+    ) -> Grant:
         """Intervene on the exclusive owner for a read."""
-        self.stats.add("forwards")
-        latency += self.network.send(home, owner, MessageClass.FORWARD)
-        owner_block = self.l1s[owner].probe(addr, touch=False)
+        cell = self._c_forwards
+        if cell is None:
+            cell = self._c_forwards = self.stats.counter("forwards")
+        cell.value += 1
+        latency += self._send(home, owner, MessageClass.FORWARD)
+        owner_block = self._l1_probe[owner](addr, touch=False)
         if owner_block is None:
             # Stale owner: it silently evicted its clean E copy.  It nacks;
             # the home serves from the LLC instead.
             self.stats.add("forward_nacks")
-            latency += self.network.send(owner, home, MessageClass.CONTROL_RESPONSE)
+            latency += self._send(owner, home, MessageClass.CONTROL_RESPONSE)
             entry.remove_core(owner)
             self._filter_remove(owner, addr)
             latency += self._serve_from_llc(core, addr, home)
             entry.add_sharer(core)
-            return GrantResult(latency, MesiState.SHARED, self._llc_version(addr))
+            return latency, _S_SHARED, self._llc_version(addr)
         was_dirty = bool(owner_block.dirty)
         version = owner_block.version
         if self.moesi and was_dirty:
             # MOESI: the dirty owner keeps the line in Owned state and
             # services the reader directly — no LLC writeback at all.  The
             # entry keeps its owner pointer alongside the new sharer.
-            if MesiState(owner_block.state) is MesiState.MODIFIED:
+            if owner_block.state == _S_MODIFIED:
                 self.l1s[owner].downgrade_to_owned(addr)
             self.stats.add("owned_transitions")
-            latency += self.network.send(owner, core, MessageClass.DATA_RESPONSE)
-            latency += self.timing.l1_hit
+            latency += self._send(owner, core, MessageClass.DATA_RESPONSE)
+            latency += self._t_l1
             entry.add_sharer(core)
-            return GrantResult(latency, MesiState.SHARED, version)
+            return latency, _S_SHARED, version
         self.l1s[owner].downgrade_to_shared(addr)
         if was_dirty:
             # Dirty data goes to the requester and, off the critical path,
             # back to the LLC so the home copy is current.
-            self.network.send(owner, home, MessageClass.WRITEBACK)
+            self._send(owner, home, MessageClass.WRITEBACK)
             self.llc.write_back(addr, version)
-        latency += self.network.send(owner, core, MessageClass.DATA_RESPONSE)
-        latency += self.timing.l1_hit  # owner's tag access to source the data
+        latency += self._send(owner, core, MessageClass.DATA_RESPONSE)
+        latency += self._t_l1  # owner's tag access to source the data
         entry.demote_owner()
         entry.add_sharer(core)
-        return GrantResult(latency, MesiState.SHARED, version if was_dirty else self._llc_version(addr))
+        return latency, _S_SHARED, version if was_dirty else self._llc_version(addr)
 
     # -- directory hit, write --------------------------------------------------
 
     def _dir_hit_write(
         self, core: int, addr: int, entry: DirectoryEntry, home: int, latency: int
-    ) -> GrantResult:
+    ) -> Grant:
         owner = entry.owner
         if owner is not None and owner != core:
             if self.moesi and entry.believed_count() > 1:
@@ -247,12 +314,12 @@ class HomeController:
             self.stats.add("self_regrants")
             latency += self._serve_from_llc(core, addr, home)
             entry.grant_exclusive(core)
-            return GrantResult(latency, MesiState.MODIFIED, self._llc_version(addr))
+            return latency, _S_MODIFIED, self._llc_version(addr)
         # Shared: invalidate every (believed) sharer, then serve LLC data.
         latency += self._invalidate_targets(entry, addr, home, skip=core)
         latency += self._serve_from_llc(core, addr, home)
         entry.grant_exclusive(core)
-        return GrantResult(latency, MesiState.MODIFIED, self._llc_version(addr))
+        return latency, _S_MODIFIED, self._llc_version(addr)
 
     def _forward_write(
         self,
@@ -262,33 +329,36 @@ class HomeController:
         owner: int,
         home: int,
         latency: int,
-    ) -> GrantResult:
+    ) -> Grant:
         """Intervene on the exclusive owner for a write (transfer ownership)."""
-        self.stats.add("forwards")
-        latency += self.network.send(home, owner, MessageClass.FORWARD)
-        removed = self.l1s[owner].invalidate(addr)
+        cell = self._c_forwards
+        if cell is None:
+            cell = self._c_forwards = self.stats.counter("forwards")
+        cell.value += 1
+        latency += self._send(home, owner, MessageClass.FORWARD)
+        removed = self._l1_invalidate[owner](addr)
         self._filter_remove(owner, addr)
         if removed is None:
             self.stats.add("forward_nacks")
-            latency += self.network.send(owner, home, MessageClass.CONTROL_RESPONSE)
+            latency += self._send(owner, home, MessageClass.CONTROL_RESPONSE)
             entry.remove_core(owner)
             latency += self._serve_from_llc(core, addr, home)
             entry.grant_exclusive(core)
-            return GrantResult(latency, MesiState.MODIFIED, self._llc_version(addr))
+            return latency, _S_MODIFIED, self._llc_version(addr)
         # Ownership transfer carries the line straight to the requester
         # (cache-to-cache); a stale LLC copy is safe because the requester
         # immediately becomes the new owner.
         version = removed.version if removed.dirty else self._llc_version(addr)
-        latency += self.network.send(owner, core, MessageClass.DATA_RESPONSE)
-        latency += self.timing.l1_hit
+        latency += self._send(owner, core, MessageClass.DATA_RESPONSE)
+        latency += self._t_l1
         entry.grant_exclusive(core)
-        return GrantResult(latency, MesiState.MODIFIED, version)
+        return latency, _S_MODIFIED, version
 
     # -- directory miss ----------------------------------------------------------
 
     def _dir_miss(
         self, core: int, addr: int, is_write: bool, home: int, latency: int
-    ) -> GrantResult:
+    ) -> Grant:
         llc_block = self.llc.probe(addr)
         if llc_block is None:
             return self._llc_miss(core, addr, is_write, home, latency)
@@ -301,12 +371,12 @@ class HomeController:
         entry = self._tracked(addr)
         entry.grant_exclusive(core)
         latency += self._serve_from_llc(core, addr, home)
-        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
-        return GrantResult(latency, state, self._llc_version(addr))
+        state = _S_MODIFIED if is_write else _S_EXCLUSIVE
+        return latency, state, self._llc_version(addr)
 
     def _discover_and_serve(
         self, core: int, addr: int, is_write: bool, home: int, latency: int
-    ) -> GrantResult:
+    ) -> Grant:
         """Directory miss on a stash-bit LLC line: run discovery, then serve."""
         demand = DiscoveryDemand.WRITE if is_write else DiscoveryDemand.READ
         result = self.discovery.discover(
@@ -328,33 +398,36 @@ class HomeController:
             entry.add_sharer(result.hider)
             entry.add_sharer(core)
             latency += self._serve_from_llc(core, addr, home)
-            return GrantResult(latency, MesiState.SHARED, self._llc_version(addr))
+            return latency, _S_SHARED, self._llc_version(addr)
         # Write (hider invalidated by the reply) or false discovery:
         # requester becomes sole holder.
         entry.grant_exclusive(core)
         latency += self._serve_from_llc(core, addr, home)
-        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
-        return GrantResult(latency, state, self._llc_version(addr))
+        state = _S_MODIFIED if is_write else _S_EXCLUSIVE
+        return latency, state, self._llc_version(addr)
 
     def _llc_miss(
         self, core: int, addr: int, is_write: bool, home: int, latency: int
-    ) -> GrantResult:
-        self.stats.add("llc_misses")
-        latency += self.timing.llc_access  # tag miss detection
+    ) -> Grant:
+        cell = self._c_llc_misses
+        if cell is None:
+            cell = self._c_llc_misses = self.stats.counter("llc_misses")
+        cell.value += 1
+        latency += self._t_llc  # tag miss detection
         victim = self.llc.peek_fill_victim(addr)
         if victim is not None:
             self._handle_llc_eviction(victim.addr, home)
         # Fetch from memory.
-        self.network.send(home, home, MessageClass.MEMORY)
+        self._send(home, home, MessageClass.MEMORY)
         latency += self.memory.read(addr, self.now)
-        self.network.send(home, home, MessageClass.MEMORY)
+        self._send(home, home, MessageClass.MEMORY)
         self.llc.fill(addr, version=self.memory_version.get(addr, 0))
         latency += self._allocate_entry(addr, home)
         entry = self._tracked(addr)
         entry.grant_exclusive(core)
-        latency += self.network.send(home, core, MessageClass.DATA_RESPONSE)
-        state = MesiState.MODIFIED if is_write else MesiState.EXCLUSIVE
-        return GrantResult(latency, state, self._llc_version(addr))
+        latency += self._send(home, core, MessageClass.DATA_RESPONSE)
+        state = _S_MODIFIED if is_write else _S_EXCLUSIVE
+        return latency, state, self._llc_version(addr)
 
     # ----------------------------------------------------------------- upgrades
 
@@ -364,14 +437,19 @@ class HomeController:
         Returns the latency beyond the request message.  The grant carries
         no data (the requester already has the line).
         """
-        home = self.home_tile(addr)
-        latency = self.timing.directory_access + self._home_wait(home)
-        self.stats.add("upgrade_requests")
-        entry = self.directory.lookup(addr)
+        home = addr & self._bank_mask
+        latency = self._t_dir
+        if self._home_occupancy:
+            latency += self._home_wait(home)
+        cell = self._c_upgrade_requests
+        if cell is None:
+            cell = self._c_upgrade_requests = self.stats.counter("upgrade_requests")
+        cell.value += 1
+        entry = self._dir_lookup(addr)
         if entry is not None:
             latency += self._invalidate_targets(entry, addr, home, skip=core)
             entry.grant_exclusive(core)
-            latency += self.network.send(home, core, MessageClass.CONTROL_RESPONSE)
+            latency += self._send(home, core, MessageClass.CONTROL_RESPONSE)
             return latency
         # Untracked upgrade: only possible when the requester itself is the
         # hidden holder of a stashed lone-S block.  The upgrade message
@@ -388,7 +466,7 @@ class HomeController:
         latency += self._allocate_entry(addr, home)
         entry = self._tracked(addr)
         entry.grant_exclusive(core)
-        latency += self.network.send(home, core, MessageClass.CONTROL_RESPONSE)
+        latency += self._send(home, core, MessageClass.CONTROL_RESPONSE)
         return latency
 
     # ----------------------------------------------------------------- putbacks
@@ -399,23 +477,32 @@ class HomeController:
         Entirely off the requester's critical path: traffic is recorded, no
         latency is returned.
         """
-        home = self.home_tile(addr)
         if dirty:
-            self.network.send(core, home, MessageClass.WRITEBACK)
-            self.network.send(home, core, MessageClass.WB_ACK)
+            home = addr & self._bank_mask
+            self._send(core, home, MessageClass.WRITEBACK)
+            self._send(home, core, MessageClass.WB_ACK)
             self.llc.write_back(addr, version)
-            self.stats.add("l1_writebacks")
+            cell = self._c_l1_writebacks
+            if cell is None:
+                cell = self._c_l1_writebacks = self.stats.counter("l1_writebacks")
+            cell.value += 1
             self._filter_remove(core, addr)
             self._retire_holder(core, addr)
             return
         if self.config.directory.clean_eviction_notification:
-            self.network.send(core, home, MessageClass.EVICTION_NOTICE)
+            home = addr & self._bank_mask
+            self._send(core, home, MessageClass.EVICTION_NOTICE)
             self.stats.add("clean_eviction_notices")
             self._filter_remove(core, addr)
             self._retire_holder(core, addr)
             return
         # Silent clean eviction: directory/stash-bit state goes stale.
-        self.stats.add("silent_clean_evictions")
+        cell = self._c_silent_clean_evictions
+        if cell is None:
+            cell = self._c_silent_clean_evictions = self.stats.counter(
+                "silent_clean_evictions"
+            )
+        cell.value += 1
 
     def _retire_holder(self, core: int, addr: int) -> None:
         """The home learned ``core`` no longer holds ``addr``."""
@@ -424,7 +511,12 @@ class HomeController:
             entry.remove_core(core)
             if entry.is_empty():
                 self.directory.deallocate(addr)
-                self.stats.add("empty_entry_deallocations")
+                cell = self._c_empty_deallocs
+                if cell is None:
+                    cell = self._c_empty_deallocs = self.stats.counter(
+                        "empty_entry_deallocations"
+                    )
+                cell.value += 1
         elif self.stash_capable and self.llc.stash_bit(addr):
             # The departing core was the only possible hider.
             self.llc.clear_stash_bit(addr)
@@ -450,19 +542,39 @@ class HomeController:
         if eviction.action is EvictionAction.STASH:
             # The paper's mechanism: drop silently, mark the LLC line.
             self.llc.set_stash_bit(victim.addr)
-            self.stats.add("stash_evictions")
+            cell = self._c_stash_evictions
+            if cell is None:
+                cell = self._c_stash_evictions = self.stats.counter("stash_evictions")
+            cell.value += 1
             return 0
         # Conventional invalidating eviction.
-        kind = "private" if victim.is_private() else "shared"
-        self.stats.add(f"dir_evictions_{kind}")
+        if victim.is_private():
+            cell = self._c_dir_evictions_private
+            if cell is None:
+                cell = self._c_dir_evictions_private = self.stats.counter(
+                    "dir_evictions_private"
+                )
+        else:
+            cell = self._c_dir_evictions_shared
+            if cell is None:
+                cell = self._c_dir_evictions_shared = self.stats.counter(
+                    "dir_evictions_shared"
+                )
+        cell.value += 1
         latency = self._invalidate_victim_entry(victim, home)
         return latency
 
     def _invalidate_victim_entry(self, victim: DirectoryEntry, home: int) -> int:
         """Invalidate every (believed) copy of a displaced entry's block."""
         worst = 0
-        for target in victim.targets():
-            self.stats.add("dir_eviction_inval_msgs")
+        targets = victim.targets()
+        msg_cell = self._c_dir_eviction_inval_msgs
+        if msg_cell is None and targets:
+            msg_cell = self._c_dir_eviction_inval_msgs = self.stats.counter(
+                "dir_eviction_inval_msgs"
+            )
+        for target in targets:
+            msg_cell.value += 1
             rt = self._roundtrip(
                 home, target, MessageClass.INVALIDATION, MessageClass.INV_ACK
             )
@@ -471,13 +583,18 @@ class HomeController:
                 # The ack settles this target's outstanding grant whether or
                 # not a live copy was found (silent evictions included).
                 self._filter_remove(target, victim.addr)
-            removed = self.l1s[target].invalidate(victim.addr)
+            removed = self._l1_invalidate[target](victim.addr)
             if removed is None:
                 continue
-            self.stats.add("dir_induced_invalidations")
+            cell = self._c_dir_induced_invalidations
+            if cell is None:
+                cell = self._c_dir_induced_invalidations = self.stats.counter(
+                    "dir_induced_invalidations"
+                )
+            cell.value += 1
             self.dir_invalidated[target].add(victim.addr)
             if removed.dirty:
-                self.network.send(target, home, MessageClass.WRITEBACK)
+                self._send(target, home, MessageClass.WRITEBACK)
                 self.llc.write_back(victim.addr, removed.version)
         return worst
 
@@ -502,14 +619,19 @@ class HomeController:
         for target in entry.targets():
             if target == skip or target == also_skip:
                 continue
-            self.stats.add("write_inval_msgs")
+            cell = self._c_write_inval_msgs
+            if cell is None:
+                cell = self._c_write_inval_msgs = self.stats.counter(
+                    "write_inval_msgs"
+                )
+            cell.value += 1
             rt = self._roundtrip(
                 home, target, MessageClass.INVALIDATION, MessageClass.INV_ACK
             )
             worst = max(worst, rt)
             if target in entry.believed:
                 self._filter_remove(target, addr)
-            removed = self.l1s[target].invalidate(addr)
+            removed = self._l1_invalidate[target](addr)
             if removed is not None and removed.dirty:
                 if not self.moesi:  # pragma: no cover - impossible in MESI
                     raise ProtocolError("dirty copy found among read-shared targets")
@@ -524,7 +646,10 @@ class HomeController:
         Off the requester's critical path (handled by MSHR/writeback buffers
         in real designs); traffic and memory writes are recorded.
         """
-        self.stats.add("llc_evictions")
+        cell = self._c_llc_evictions
+        if cell is None:
+            cell = self._c_llc_evictions = self.stats.counter("llc_evictions")
+        cell.value += 1
         block = self.llc.probe(victim_addr, touch=False)
         assert block is not None
         version = block.version
@@ -532,15 +657,15 @@ class HomeController:
         entry = self.directory.lookup(victim_addr, touch=False)
         if entry is not None:
             for target in entry.targets():
-                self.network.send(home, target, MessageClass.INVALIDATION)
-                self.network.send(target, home, MessageClass.INV_ACK)
+                self._send(home, target, MessageClass.INVALIDATION)
+                self._send(target, home, MessageClass.INV_ACK)
                 if target in entry.believed:
                     self._filter_remove(target, victim_addr)
-                removed = self.l1s[target].invalidate(victim_addr)
+                removed = self._l1_invalidate[target](victim_addr)
                 if removed is not None:
                     self.stats.add("llc_back_invalidations")
                     if removed.dirty:
-                        self.network.send(target, home, MessageClass.WRITEBACK)
+                        self._send(target, home, MessageClass.WRITEBACK)
                         dirty = True
                         version = max(version, removed.version)
             self.directory.deallocate(victim_addr)
@@ -560,7 +685,7 @@ class HomeController:
                 version = max(version, result.dirty_version)
         self.llc.invalidate(victim_addr)
         if dirty:
-            self.network.send(home, home, MessageClass.MEMORY)
+            self._send(home, home, MessageClass.MEMORY)
             self.memory.write(victim_addr, self.now)
             self.memory_version[victim_addr] = version
 
@@ -568,10 +693,11 @@ class HomeController:
 
     def _serve_from_llc(self, core: int, addr: int, home: int) -> int:
         """LLC data access + response to the requester."""
-        self.stats.add("llc_hits")
-        return self.timing.llc_access + self.network.send(
-            home, core, MessageClass.DATA_RESPONSE
-        )
+        cell = self._c_llc_hits
+        if cell is None:
+            cell = self._c_llc_hits = self.stats.counter("llc_hits")
+        cell.value += 1
+        return self._t_llc + self._send(home, core, MessageClass.DATA_RESPONSE)
 
     def _llc_version(self, addr: int) -> int:
         block = self.llc.probe(addr, touch=False)

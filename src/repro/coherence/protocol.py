@@ -78,6 +78,10 @@ class CoherentSystem:
             )
             for core in range(config.num_cores)
         ]
+        # Hot-path hoists for access(): per-core bound methods and the
+        # total-latency counter cell (bound on first access).
+        self._l1_access = [controller.access for controller in self.l1_controllers]
+        self._c_latency_total = None
 
     # -- the one operation ------------------------------------------------------
 
@@ -89,9 +93,24 @@ class CoherentSystem:
         may omit it.
         """
         self.home.now = now
-        latency = self.l1_controllers[core].access(block_addr, is_write)
-        self._protocol_stats.add("latency_total", latency)
+        latency = self._l1_access[core](block_addr, is_write)
+        cell = self._c_latency_total
+        if cell is None:
+            cell = self.latency_cell()
+        cell.value += latency
         return latency
+
+    def latency_cell(self):
+        """Bound cell for the ``latency_total`` counter (created on demand).
+
+        The trace-driven simulator inlines the per-op accounting of
+        :meth:`access` into its run loop; this accessor hands it the same
+        cell so the statistics stay identical.
+        """
+        cell = self._c_latency_total
+        if cell is None:
+            cell = self._c_latency_total = self._protocol_stats.counter("latency_total")
+        return cell
 
     # -- invariants ----------------------------------------------------------------
 

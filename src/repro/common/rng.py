@@ -25,7 +25,16 @@ class DeterministicRng:
 
     def __init__(self, seed: int) -> None:
         self._seed = seed
-        self._rng = random.Random(seed)
+        # The underlying Random is created on first draw: system construction
+        # spawns one stream per cache/directory set, and most of them (every
+        # LRU set, for instance) never draw a number.  Seeding thousands of
+        # Mersenne Twister states up front is pure overhead.
+        self._rng: random.Random | None = None
+
+    def _materialize(self) -> random.Random:
+        rng = random.Random(self._seed)
+        self._rng = rng
+        return rng
 
     @property
     def seed(self) -> int:
@@ -43,19 +52,19 @@ class DeterministicRng:
 
     def randint(self, lo: int, hi: int) -> int:
         """Uniform integer in the inclusive range [lo, hi]."""
-        return self._rng.randint(lo, hi)
+        return (self._rng or self._materialize()).randint(lo, hi)
 
     def random(self) -> float:
         """Uniform float in [0, 1)."""
-        return self._rng.random()
+        return (self._rng or self._materialize()).random()
 
     def choice(self, items: Sequence[T]) -> T:
         """Uniformly pick one element of a non-empty sequence."""
-        return self._rng.choice(items)
+        return (self._rng or self._materialize()).choice(items)
 
     def shuffle(self, items: List[T]) -> None:
         """In-place Fisher-Yates shuffle."""
-        self._rng.shuffle(items)
+        (self._rng or self._materialize()).shuffle(items)
 
     def zipf_index(self, n: int, alpha: float) -> int:
         """Draw an index in [0, n) with Zipf(alpha) popularity.
@@ -65,7 +74,7 @@ class DeterministicRng:
         uniform.
         """
         if alpha <= 0.0:
-            return self._rng.randrange(n)
+            return (self._rng or self._materialize()).randrange(n)
         key = (n, alpha)
         table = _ZIPF_CDF_CACHE.get(key)
         if table is None:
@@ -78,7 +87,7 @@ class DeterministicRng:
                 table.append(acc)
             table[-1] = 1.0
             _ZIPF_CDF_CACHE[key] = table
-        u = self._rng.random()
+        u = (self._rng or self._materialize()).random()
         lo, hi = 0, n - 1
         while lo < hi:
             mid = (lo + hi) // 2

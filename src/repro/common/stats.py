@@ -13,11 +13,36 @@ so a finished simulation exposes one tree such as::
 Counters are created on first use, which keeps instrumentation code free of
 declarations, and :meth:`StatGroup.to_dict` flattens the tree for reporting,
 assertions in tests, and the benchmark harness.
+
+Hot-path increments go through **bound counters**: :meth:`StatGroup.counter`
+returns the mutable :class:`StatCounter` cell backing one name, so code that
+fires an event millions of times does ``cell.value += 1`` — one attribute
+add — instead of a string-keyed dict get/set per event.  The cell *is* the
+storage: ``add``/``get``/``to_dict`` observe bound increments immediately,
+and a handle stays valid across :meth:`StatGroup.reset` (the cell is zeroed
+in place, so a bound counter remains materialized at 0.0 after a reset while
+never-bound counters disappear exactly as before).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, Set, Tuple
+
+
+class StatCounter:
+    """The mutable cell backing one counter: mutate ``value`` directly."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (hot code inlines ``cell.value += amount``)."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StatCounter({self.value!r})"
 
 
 class StatGroup:
@@ -27,28 +52,54 @@ class StatGroup:
     latencies and derived averages, but integer increments stay exact.
     """
 
+    __slots__ = ("name", "_cells", "_bound", "_children")
+
     def __init__(self, name: str) -> None:
         self.name = name
-        self._counters: Dict[str, float] = {}
+        self._cells: Dict[str, StatCounter] = {}
+        self._bound: Set[str] = set()
         self._children: Dict[str, "StatGroup"] = {}
 
     # -- counter operations -------------------------------------------------
 
+    def counter(self, name: str) -> StatCounter:
+        """The bound :class:`StatCounter` cell for ``name`` (hot-path handle).
+
+        Creates the counter at zero if absent.  The returned cell survives
+        :meth:`reset` (zeroed in place), so components may bind once and
+        increment forever.
+        """
+        cell = self._cells.get(name)
+        if cell is None:
+            cell = StatCounter()
+            self._cells[name] = cell
+        self._bound.add(name)
+        return cell
+
     def add(self, counter: str, amount: float = 1.0) -> None:
         """Add ``amount`` to ``counter``, creating it at zero if absent."""
-        self._counters[counter] = self._counters.get(counter, 0.0) + amount
+        cell = self._cells.get(counter)
+        if cell is None:
+            self._cells[counter] = StatCounter(0.0 + amount)
+        else:
+            cell.value += amount
 
     def set(self, counter: str, value: float) -> None:
         """Set ``counter`` to an absolute value (for gauges like sizes)."""
-        self._counters[counter] = value
+        cell = self._cells.get(counter)
+        if cell is None:
+            self._cells[counter] = StatCounter(value)
+        else:
+            cell.value = value
 
     def get(self, counter: str) -> float:
         """Read a counter; absent counters read as zero."""
-        return self._counters.get(counter, 0.0)
+        cell = self._cells.get(counter)
+        return cell.value if cell is not None else 0.0
 
     def counters(self) -> Dict[str, float]:
         """A copy of this group's own (non-nested) counters."""
-        return dict(self._counters)
+        return {name: cell.value for name, cell in self._cells.items()}
 
     # -- hierarchy -----------------------------------------------------------
 
@@ -71,8 +122,8 @@ class StatGroup:
 
         Used to aggregate per-core groups (e.g. all L1s) into one summary.
         """
-        for counter, value in other._counters.items():
-            self.add(counter, value)
+        for counter, cell in other._cells.items():
+            self.add(counter, cell.value)
         for name, group in other._children.items():
             self.child(name).merge(group)
 
@@ -80,9 +131,9 @@ class StatGroup:
         """Flatten the tree to ``{"group.sub.counter": value}``."""
         flat: Dict[str, float] = {}
         base = f"{prefix}{self.name}" if prefix or self.name else self.name
-        for counter, value in sorted(self._counters.items()):
+        for counter in sorted(self._cells):
             key = f"{base}.{counter}" if base else counter
-            flat[key] = value
+            flat[key] = self._cells[counter].value
         for name in sorted(self._children):
             flat.update(self._children[name].to_dict(prefix=f"{base}." if base else ""))
         return flat
@@ -101,13 +152,27 @@ class StatGroup:
         return result
 
     def reset(self) -> None:
-        """Zero every counter in this group and all descendants."""
-        self._counters.clear()
+        """Zero every counter in this group and all descendants.
+
+        Counters that were never handed out as bound cells are removed (they
+        reappear on their next increment, as before); bound cells are zeroed
+        in place so outstanding handles stay live.
+        """
+        cells = self._cells
+        bound = self._bound
+        if bound:
+            for name in list(cells):
+                if name in bound:
+                    cells[name].value = 0.0
+                else:
+                    del cells[name]
+        else:
+            cells.clear()
         for group in self._children.values():
             group.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"StatGroup({self.name!r}, counters={len(self._counters)}, children={len(self._children)})"
+        return f"StatGroup({self.name!r}, counters={len(self._cells)}, children={len(self._children)})"
 
 
 def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:

@@ -64,6 +64,15 @@ class CuckooDirectory(Directory):
         # Candidate slots are recomputed on every lookup/relocation step;
         # workloads reuse addresses heavily, so memoize per address.
         self._slot_cache: dict = {}
+        self._c_hits = None
+        self._c_misses = None
+        # Validated sharer-rep template; allocations clone it via fresh().
+        self._rep_template = make_sharer_rep(
+            config.sharer_format,
+            num_cores,
+            group=config.coarse_group,
+            pointers=config.limited_pointers,
+        )
 
     # -- hashing ---------------------------------------------------------------
 
@@ -84,27 +93,28 @@ class CuckooDirectory(Directory):
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
         slots = self._slots(addr)
+        tables = self._tables
         for way in range(self.d):
-            entry = self._tables[way][slots[way]]
+            entry = tables[way][slots[way]]
             if entry is not None and entry.addr == addr:
                 if touch:
-                    self.stats.add("hits")
+                    cell = self._c_hits
+                    if cell is None:
+                        cell = self._c_hits = self.stats.counter("hits")
+                    cell.value += 1
                 return entry
         if touch:
-            self.stats.add("misses")
+            cell = self._c_misses
+            if cell is None:
+                cell = self._c_misses = self.stats.counter("misses")
+            cell.value += 1
         return None
 
     def allocate(self, addr: int) -> AllocationResult:
         if self.lookup(addr, touch=False) is not None:
             raise DirectoryError(f"block {addr:#x} is already tracked")
 
-        rep = make_sharer_rep(
-            self.config.sharer_format,
-            self.num_cores,
-            group=self.config.coarse_group,
-            pointers=self.config.limited_pointers,
-        )
-        entry = DirectoryEntry(addr, rep)
+        entry = DirectoryEntry(addr, self._rep_template.fresh())
         self.stats.add("allocations")
 
         homeless = entry

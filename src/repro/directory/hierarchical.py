@@ -125,6 +125,8 @@ class ScdDirectory(Directory):
         self.stats = stats
         self._entries: Dict[int, _ScdEntry] = {}  # insertion order = LRU order
         self._total_lines = 0
+        self._c_hits = None
+        self._c_misses = None
 
     # -- line model ----------------------------------------------------------------
 
@@ -142,16 +144,23 @@ class ScdDirectory(Directory):
     # -- Directory interface ------------------------------------------------------------
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
-        entry = self._entries.get(addr)
+        entries = self._entries
+        entry = entries.get(addr)
         if entry is None:
             if touch:
-                self.stats.add("misses")
+                cell = self._c_misses
+                if cell is None:
+                    cell = self._c_misses = self.stats.counter("misses")
+                cell.value += 1
             return None
         if touch:
-            self.stats.add("hits")
+            cell = self._c_hits
+            if cell is None:
+                cell = self._c_hits = self.stats.counter("hits")
+            cell.value += 1
             # Move to MRU position (dict preserves insertion order).
-            del self._entries[addr]
-            self._entries[addr] = entry
+            del entries[addr]
+            entries[addr] = entry
         return entry
 
     def allocate(self, addr: int) -> AllocationResult:

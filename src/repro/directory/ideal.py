@@ -25,23 +25,34 @@ class IdealDirectory(Directory):
         super().__init__(config, num_cores, capacity=0)
         self.stats = stats
         self._entries: Dict[int, DirectoryEntry] = {}
+        self._c_hits = None
+        self._c_misses = None
+        # Validated sharer-rep template; allocations clone it via fresh().
+        self._rep_template = make_sharer_rep(
+            config.sharer_format,
+            num_cores,
+            group=config.coarse_group,
+            pointers=config.limited_pointers,
+        )
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
         entry = self._entries.get(addr)
         if touch:
-            self.stats.add("hits" if entry is not None else "misses")
+            if entry is not None:
+                cell = self._c_hits
+                if cell is None:
+                    cell = self._c_hits = self.stats.counter("hits")
+            else:
+                cell = self._c_misses
+                if cell is None:
+                    cell = self._c_misses = self.stats.counter("misses")
+            cell.value += 1
         return entry
 
     def allocate(self, addr: int) -> AllocationResult:
         if addr in self._entries:
             raise DirectoryError(f"block {addr:#x} is already tracked")
-        rep = make_sharer_rep(
-            self.config.sharer_format,
-            self.num_cores,
-            group=self.config.coarse_group,
-            pointers=self.config.limited_pointers,
-        )
-        entry = DirectoryEntry(addr, rep)
+        entry = DirectoryEntry(addr, self._rep_template.fresh())
         self._entries[addr] = entry
         self.stats.add("allocations")
         return AllocationResult(entry, eviction=None)

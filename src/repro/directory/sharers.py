@@ -59,6 +59,15 @@ class SharerRep:
         """Cores an invalidation must reach (superset of true holders)."""
         raise NotImplementedError
 
+    def fresh(self) -> "SharerRep":
+        """A new empty representation with this instance's parameters.
+
+        Directories allocate one representation per entry; cloning from a
+        validated template skips the factory dispatch and parameter checks
+        of :func:`make_sharer_rep` on the allocation path.
+        """
+        raise NotImplementedError
+
     @staticmethod
     def storage_bits(num_cores: int, **params: int) -> int:
         """Bits this format occupies per entry (for the area model)."""
@@ -93,6 +102,12 @@ class FullBitVector(SharerRep):
             mask >>= 1
             core += 1
         return result
+
+    def fresh(self) -> "FullBitVector":
+        rep = FullBitVector.__new__(FullBitVector)
+        rep.num_cores = self.num_cores
+        rep.mask = 0
+        return rep
 
     @staticmethod
     def storage_bits(num_cores: int, **params: int) -> int:
@@ -135,6 +150,13 @@ class CoarseVector(SharerRep):
                 result.extend(range(start, min(start + self.group, self.num_cores)))
         return result
 
+    def fresh(self) -> "CoarseVector":
+        rep = CoarseVector.__new__(CoarseVector)
+        rep.num_cores = self.num_cores
+        rep.group = self.group
+        rep.mask = 0
+        return rep
+
     @staticmethod
     def storage_bits(num_cores: int, **params: int) -> int:
         group = params.get("group", 4)
@@ -175,6 +197,14 @@ class LimitedPointer(SharerRep):
         if self.overflowed:
             return list(range(self.num_cores))
         return list(self.ids)
+
+    def fresh(self) -> "LimitedPointer":
+        rep = LimitedPointer.__new__(LimitedPointer)
+        rep.num_cores = self.num_cores
+        rep.pointers = self.pointers
+        rep.ids = []
+        rep.overflowed = False
+        return rep
 
     @staticmethod
     def storage_bits(num_cores: int, **params: int) -> int:

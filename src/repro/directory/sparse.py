@@ -18,12 +18,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from ..cache.replacement import ReplacementPolicy, make_policy
+from ..cache.replacement import LruPolicy, ReplacementPolicy, make_policy
 from ..common.addr import log2_exact
 from ..common.config import DirectoryConfig
 from ..common.errors import ConfigError, DirectoryError
 from ..common.rng import DeterministicRng
-from ..common.stats import StatGroup
+from ..common.stats import StatCounter, StatGroup
 from .base import (
     AllocationResult,
     Directory,
@@ -35,15 +35,22 @@ from .sharers import make_sharer_rep
 
 
 class _DirSet:
-    """One directory set: way-slots, an address index and replacement state."""
+    """One directory set: way-slots, an address index and replacement state.
 
-    __slots__ = ("ways", "entries", "by_addr", "policy")
+    Like :class:`~repro.cache.array.CacheSet`, the policy hooks are bound
+    once at construction so the per-lookup path has no policy dispatch.
+    """
+
+    __slots__ = ("ways", "entries", "by_addr", "policy", "touch", "fill_touch", "lru")
 
     def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
         self.ways = ways
         self.entries: List[Optional[DirectoryEntry]] = [None] * ways
         self.by_addr: Dict[int, int] = {}
         self.policy = policy
+        self.touch = policy.on_access
+        self.fill_touch = policy.on_fill
+        self.lru = policy if type(policy) is LruPolicy else None
 
     def find(self, addr: int) -> Optional[int]:
         return self.by_addr.get(addr)
@@ -81,6 +88,21 @@ class SparseDirectory(Directory):
             _DirSet(config.ways, make_policy("lru", config.ways, rng.spawn(i)))
             for i in range(self.sets)
         ]
+        # Lookup/allocation counters, bound on first event (see
+        # StatGroup.counter); eviction counters are keyed per action kind.
+        self._c_hits: Optional[StatCounter] = None
+        self._c_misses: Optional[StatCounter] = None
+        self._c_allocations: Optional[StatCounter] = None
+        self._c_deallocations: Optional[StatCounter] = None
+        self._c_evictions: Optional[StatCounter] = None
+        self._c_evictions_by_action: Dict[EvictionAction, StatCounter] = {}
+        # Validated sharer-rep template; allocations clone it via fresh().
+        self._rep_template = make_sharer_rep(
+            config.sharer_format,
+            num_cores,
+            group=config.coarse_group,
+            pointers=config.limited_pointers,
+        )
 
     # -- internals -------------------------------------------------------------
 
@@ -88,13 +110,7 @@ class SparseDirectory(Directory):
         return self._sets[addr & self._index_mask]
 
     def _new_entry(self, addr: int) -> DirectoryEntry:
-        rep = make_sharer_rep(
-            self.config.sharer_format,
-            self.num_cores,
-            group=self.config.coarse_group,
-            pointers=self.config.limited_pointers,
-        )
-        return DirectoryEntry(addr, rep)
+        return DirectoryEntry(addr, self._rep_template.fresh())
 
     def choose_victim(self, dirset: _DirSet) -> Tuple[int, EvictionAction]:
         """Pick ``(way, action)`` when the set is full.
@@ -107,46 +123,77 @@ class SparseDirectory(Directory):
     # -- Directory interface ------------------------------------------------------
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
-        dirset = self._set_of(addr)
-        way = dirset.find(addr)
+        dirset = self._sets[addr & self._index_mask]
+        way = dirset.by_addr.get(addr)
         if way is None:
             if touch:
-                self.stats.add("misses")
+                cell = self._c_misses
+                if cell is None:
+                    cell = self._c_misses = self.stats.counter("misses")
+                cell.value += 1
             return None
         if touch:
-            dirset.policy.on_access(way)
-            self.stats.add("hits")
+            lru = dirset.lru
+            if lru is not None:
+                # Inline of LruPolicy.on_access (package-internal fast path).
+                lru._clock = clock = lru._clock + 1
+                lru._last_use[way] = clock
+            else:
+                dirset.touch(way)
+            cell = self._c_hits
+            if cell is None:
+                cell = self._c_hits = self.stats.counter("hits")
+            cell.value += 1
         return dirset.entries[way]
 
     def allocate(self, addr: int) -> AllocationResult:
-        dirset = self._set_of(addr)
-        if dirset.find(addr) is not None:
+        dirset = self._sets[addr & self._index_mask]
+        by_addr = dirset.by_addr
+        if addr in by_addr:
             raise DirectoryError(f"block {addr:#x} is already tracked")
-        way = dirset.free_way()
+        entries = dirset.entries
         eviction: Optional[Eviction] = None
-        if way is None:
+        if len(by_addr) == dirset.ways:
             way, action = self.choose_victim(dirset)
-            victim = dirset.entries[way]
+            victim = entries[way]
             assert victim is not None
-            del dirset.by_addr[victim.addr]
+            del by_addr[victim.addr]
             eviction = Eviction(victim, action)
-            self.stats.add("evictions")
-            self.stats.add(f"evictions_{action.value}")
+            cell = self._c_evictions
+            if cell is None:
+                cell = self._c_evictions = self.stats.counter("evictions")
+            cell.value += 1
+            action_cell = self._c_evictions_by_action.get(action)
+            if action_cell is None:
+                action_cell = self._c_evictions_by_action[action] = self.stats.counter(
+                    f"evictions_{action.value}"
+                )
+            action_cell.value += 1
+        else:
+            way = 0
+            while entries[way] is not None:
+                way += 1
         entry = self._new_entry(addr)
-        dirset.entries[way] = entry
-        dirset.by_addr[addr] = way
-        dirset.policy.on_fill(way)
-        self.stats.add("allocations")
+        entries[way] = entry
+        by_addr[addr] = way
+        dirset.fill_touch(way)
+        cell = self._c_allocations
+        if cell is None:
+            cell = self._c_allocations = self.stats.counter("allocations")
+        cell.value += 1
         return AllocationResult(entry, eviction)
 
     def deallocate(self, addr: int) -> None:
-        dirset = self._set_of(addr)
-        way = dirset.find(addr)
+        dirset = self._sets[addr & self._index_mask]
+        way = dirset.by_addr.get(addr)
         if way is None:
             return
         dirset.entries[way] = None
         del dirset.by_addr[addr]
-        self.stats.add("deallocations")
+        cell = self._c_deallocations
+        if cell is None:
+            cell = self._c_deallocations = self.stats.counter("deallocations")
+        cell.value += 1
 
     # -- inspection ------------------------------------------------------------------
 

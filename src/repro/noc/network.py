@@ -4,6 +4,13 @@
 and records its traffic.  ``broadcast`` models the discovery probe fan-out —
 one probe per destination tile plus the replies, with the *latency* of the
 round trip being the slowest leg (probes travel in parallel).
+
+Both are pure table lookups: :class:`~repro.noc.topology.Mesh2D` precomputes
+the per-tile-pair hop and latency tables once (≤ 64×64 ints), and the
+traffic accounting increments bound
+:class:`~repro.common.stats.StatCounter` cells shared with the
+:class:`~repro.noc.traffic.TrafficMeter` — no route arithmetic and no
+string-keyed stats writes on the per-message path.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ from ..common.config import NoCConfig
 from ..common.stats import StatGroup
 from .contention import LinkTracker
 from .topology import Mesh2D
-from .traffic import MessageClass, TrafficMeter, flits_of
+from .traffic import MessageClass, TrafficMeter
 
 
 class Network:
@@ -31,14 +38,37 @@ class Network:
         self.links: Optional[LinkTracker] = (
             LinkTracker(self.mesh) if config.track_links else None
         )
+        # Hot-path aliases: the mesh's precomputed N x N tables (list rows,
+        # indexed [src][dst]) and the meter's per-class cell dict (same
+        # objects — accounting stays observable through ``traffic``).
+        self._hops = self.mesh.hop_table()
+        self._latencies = self.mesh.latency_table()
+        self._class_cells = self.traffic.class_cells
+        self._bind_class = self.traffic.bind_class
 
     def send(self, src: int, dst: int, msg_class: MessageClass) -> int:
         """Deliver one message; returns its latency in cycles."""
-        hops = self.mesh.hops(src, dst)
-        self.traffic.record(msg_class, hops)
+        if src < 0 or dst < 0:
+            self.mesh.hops(src, dst)  # raises ConfigError
+        try:
+            hops = self._hops[src][dst]
+            latency = self._latencies[src][dst]
+        except IndexError:
+            self.mesh.hops(src, dst)  # raises ConfigError
+            raise  # pragma: no cover - unreachable
+        cells = self._class_cells.get(msg_class)
+        if cells is None:
+            cells = self._bind_class(msg_class)
+        msgs, hop_count, flit_hops, flits, total_msgs, total_flit_hops = cells
+        fh = hops * flits
+        msgs.value += 1
+        hop_count.value += hops
+        flit_hops.value += fh
+        total_msgs.value += 1
+        total_flit_hops.value += fh
         if self.links is not None:
-            self.links.record(src, dst, flits_of(msg_class))
-        return self.mesh.latency(src, dst)
+            self.links.record(src, dst, flits)
+        return latency
 
     def broadcast(
         self,
@@ -56,14 +86,38 @@ class Network:
         """
         worst = 0
         fanout = 0
+        probe_cells = reply_cells = None
+        hop_rows = self._hops
+        lat_rows = self._latencies
+        hop_row = hop_rows[src]
+        lat_row = lat_rows[src]
+        links = self.links
         for dst in dsts:
+            if probe_cells is None:
+                # Bind lazily so an empty destination set creates no counters.
+                probe_cells = self._class_cells.get(probe_class) or self._bind_class(
+                    probe_class
+                )
+                reply_cells = self._class_cells.get(reply_class) or self._bind_class(
+                    reply_class
+                )
             fanout += 1
-            self.traffic.record(probe_class, self.mesh.hops(src, dst))
-            self.traffic.record(reply_class, self.mesh.hops(dst, src))
-            if self.links is not None:
-                self.links.record(src, dst, flits_of(probe_class))
-                self.links.record(dst, src, flits_of(reply_class))
-            round_trip = self.mesh.latency(src, dst) + self.mesh.latency(dst, src)
+            out_hops = hop_row[dst]
+            back_hops = hop_rows[dst][src]
+            p_msgs, p_hops, p_fh, p_flits, total_msgs, total_flit_hops = probe_cells
+            p_msgs.value += 1
+            p_hops.value += out_hops
+            p_fh.value += out_hops * p_flits
+            r_msgs, r_hops, r_fh, r_flits, _, _ = reply_cells
+            r_msgs.value += 1
+            r_hops.value += back_hops
+            r_fh.value += back_hops * r_flits
+            total_msgs.value += 2
+            total_flit_hops.value += out_hops * p_flits + back_hops * r_flits
+            if links is not None:
+                links.record(src, dst, p_flits)
+                links.record(dst, src, r_flits)
+            round_trip = lat_row[dst] + lat_rows[dst][src]
             if round_trip > worst:
                 worst = round_trip
         return worst, fanout

@@ -80,12 +80,21 @@ class Mesh2D:
                 f"tile pair ({src}, {dst}) outside mesh of {self.nodes} nodes"
             ) from None
 
+    def hop_table(self):
+        """The precomputed ``[src][dst]`` hop-count table (do not mutate).
+
+        :class:`~repro.noc.network.Network` aliases this so its per-message
+        path is a pure table lookup.
+        """
+        return self._hops
+
+    def latency_table(self):
+        """The precomputed ``[src][dst]`` latency table (do not mutate)."""
+        return self._latencies
+
     def average_distance(self) -> float:
         """Mean hop count over all ordered tile pairs (used in reports)."""
-        total = 0
-        for src in range(self.nodes):
-            for dst in range(self.nodes):
-                total += self.hops(src, dst)
+        total = sum(sum(row) for row in self._hops)
         return total / (self.nodes * self.nodes)
 
     def neighbors(self, tile: int) -> List[int]:

@@ -12,9 +12,9 @@ are weighted by ``DATA_FLITS``.
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict
+from typing import Dict, Tuple
 
-from ..common.stats import StatGroup
+from ..common.stats import StatCounter, StatGroup
 
 #: Flits per data-bearing message relative to a 1-flit control message.
 DATA_FLITS = 5
@@ -52,42 +52,55 @@ def flits_of(msg_class: MessageClass) -> int:
     return DATA_FLITS if msg_class in DATA_CLASSES else 1
 
 
-#: Precomputed (msgs, hops, flit_hops, flit_weight) keys per class — this is
-#: the single hottest accounting path in the simulator.
-_CLASS_KEYS = {
-    cls: (
-        f"msgs.{cls.value}",
-        f"hops.{cls.value}",
-        f"flit_hops.{cls.value}",
-        flits_of(cls),
-    )
-    for cls in MessageClass
-}
+#: One class's bound accounting slots: (msgs, hops, flit_hops, flit weight,
+#: msgs.total, flit_hops.total) — everything one ``record`` touches.
+ClassCells = Tuple[StatCounter, StatCounter, StatCounter, int, StatCounter, StatCounter]
 
 
 class TrafficMeter:
     """Accumulates per-class message, hop and flit-hop counts.
 
-    Writes straight into its :class:`~repro.common.stats.StatGroup`'s
-    counter dict (same keys :meth:`StatGroup.add` would create), so the
-    stats tree stays the single source of truth while the per-message cost
-    is a handful of dict operations.
+    Counts live in bound :class:`~repro.common.stats.StatCounter` cells of
+    the meter's :class:`~repro.common.stats.StatGroup` (same names
+    :meth:`StatGroup.add` would create), so the stats tree stays the single
+    source of truth while the per-message cost is one dict lookup plus five
+    attribute adds.  Cells are bound on a class's *first* message, keeping
+    the stats tree free of never-used classes exactly as lazily-created
+    counters always were.
     """
 
     def __init__(self, stats: StatGroup) -> None:
         self._stats = stats
-        self._counters = stats._counters  # hot-path alias, same dict
+        #: msg_class -> ClassCells; shared with ``Network``'s inlined fast
+        #: path (same dict object).
+        self.class_cells: Dict[MessageClass, ClassCells] = {}
+
+    def bind_class(self, msg_class: MessageClass) -> ClassCells:
+        """Materialize and cache the accounting cells of one message class."""
+        counter = self._stats.counter
+        cells = (
+            counter(f"msgs.{msg_class.value}"),
+            counter(f"hops.{msg_class.value}"),
+            counter(f"flit_hops.{msg_class.value}"),
+            flits_of(msg_class),
+            counter("msgs.total"),
+            counter("flit_hops.total"),
+        )
+        self.class_cells[msg_class] = cells
+        return cells
 
     def record(self, msg_class: MessageClass, hops: int) -> None:
         """Account one message of ``msg_class`` traversing ``hops`` links."""
-        msgs_key, hops_key, flit_key, flits = _CLASS_KEYS[msg_class]
-        counters = self._counters
-        flit_hops = hops * flits
-        counters[msgs_key] = counters.get(msgs_key, 0.0) + 1
-        counters[hops_key] = counters.get(hops_key, 0.0) + hops
-        counters[flit_key] = counters.get(flit_key, 0.0) + flit_hops
-        counters["msgs.total"] = counters.get("msgs.total", 0.0) + 1
-        counters["flit_hops.total"] = counters.get("flit_hops.total", 0.0) + flit_hops
+        cells = self.class_cells.get(msg_class)
+        if cells is None:
+            cells = self.bind_class(msg_class)
+        msgs, hop_count, flit_hops, flits, total_msgs, total_flit_hops = cells
+        fh = hops * flits
+        msgs.value += 1
+        hop_count.value += hops
+        flit_hops.value += fh
+        total_msgs.value += 1
+        total_flit_hops.value += fh
 
     def messages(self, msg_class: MessageClass) -> float:
         """Raw count of one class."""

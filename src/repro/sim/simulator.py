@@ -40,6 +40,10 @@ class Simulator:
         warmup_ops: int = 0,
     ) -> None:
         self.system = system
+        if invariant_interval < 1:
+            raise TraceError("invariant_interval must be >= 1")
+        if sample_interval < 1:
+            raise TraceError("sample_interval must be >= 1")
         self.invariant_interval = invariant_interval
         self.sample_interval = sample_interval
         if warmup_ops < 0:
@@ -74,25 +78,55 @@ class Simulator:
         warmup_ops = self.warmup_ops
         invariant_interval = self.invariant_interval
         sample_interval = self.sample_interval
+        # Next-threshold counters replace per-op modulo checks; identical
+        # firing pattern for any interval >= 1 (enforced at construction).
+        next_invariant = invariant_interval if check else -1
+        next_sample = sample_interval
         warmup_clocks = [0.0] * trace.num_cores
-        access = self.system.access
-        check_invariants = self.system.check_invariants
-        effective_tracking = self.system.effective_tracking
+        system = self.system
+        access = system.access
+        check_invariants = system.check_invariants
+        effective_tracking = system.effective_tracking
+        # Inlined per-op accounting (equivalent to CoherentSystem.access):
+        # the home clock, the per-core controller entry points and the
+        # latency_total cell are hoisted out of the loop.  Only engaged when
+        # ``access`` is the stock method — instance- or subclass-level
+        # overrides (test spies, tracers) keep the call-through seam.
+        home = getattr(system, "home", None)
+        l1_access = getattr(system, "_l1_access", None)
+        fast = (
+            l1_access is not None
+            and home is not None
+            and type(system).access is CoherentSystem.access
+            and "access" not in system.__dict__
+        )
+        lat_cell = None
 
         if len(active) == 1:
             # Single-core fast path: no interleaving decisions to make.
             core = active[0]
+            core_access = l1_access[core] if fast else None
             clock = 0.0
             for addr, is_write in trace.ops[core]:
-                clock += access(core, addr >> shift, is_write, clock) + fixed
+                if fast:
+                    home.now = clock
+                    latency = core_access(addr >> shift, is_write)
+                    if lat_cell is None:
+                        lat_cell = system.latency_cell()
+                    lat_cell.value += latency
+                else:
+                    latency = access(core, addr >> shift, is_write, clock)
+                clock += latency + fixed
                 processed += 1
                 if processed == warmup_ops:
                     self.system.stats.reset()
                     clocks[core] = clock
                     warmup_clocks = list(clocks)
-                if check and processed % invariant_interval == 0:
+                if processed == next_invariant:
+                    next_invariant += invariant_interval
                     check_invariants()
-                if processed % sample_interval == 0:
+                if processed == next_sample:
+                    next_sample += sample_interval
                     samples.append(effective_tracking())
             clocks[core] = clock
             cursors[core] = len(trace.ops[core])
@@ -107,10 +141,19 @@ class Simulator:
                 ops = trace.ops[core]
                 cursor = cursors[core]
                 remaining = len(ops)
+                core_access = l1_access[core] if fast else None
                 while True:
                     addr, is_write = ops[cursor]
                     cursor += 1
-                    clock += access(core, addr >> shift, is_write, clock) + fixed
+                    if fast:
+                        home.now = clock
+                        latency = core_access(addr >> shift, is_write)
+                        if lat_cell is None:
+                            lat_cell = system.latency_cell()
+                        lat_cell.value += latency
+                    else:
+                        latency = access(core, addr >> shift, is_write, clock)
+                    clock += latency + fixed
                     processed += 1
                     if processed == warmup_ops:
                         # End of warmup: discard statistics, keep all cache
@@ -120,9 +163,11 @@ class Simulator:
                         clocks[core] = clock
                         cursors[core] = cursor
                         warmup_clocks = list(clocks)
-                    if check and processed % invariant_interval == 0:
+                    if processed == next_invariant:
+                        next_invariant += invariant_interval
                         check_invariants()
-                    if processed % sample_interval == 0:
+                    if processed == next_sample:
+                        next_sample += sample_interval
                         samples.append(effective_tracking())
                     if cursor == remaining:
                         break

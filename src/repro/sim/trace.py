@@ -99,17 +99,27 @@ class Trace:
         return len(self.ops[core])
 
     def write_fraction(self) -> float:
-        """Fraction of operations that are writes."""
-        total = self.total_ops()
+        """Fraction of operations that are writes (single pass)."""
+        total = 0
+        writes = 0
+        for ops in self.ops:
+            total += len(ops)
+            for _, is_write in ops:
+                if is_write:
+                    writes += 1
         if total == 0:
             return 0.0
-        writes = sum(1 for ops in self.ops for _, w in ops if w)
         return writes / total
 
     def unique_blocks(self, block_bytes: int) -> int:
-        """Distinct cache blocks the trace touches."""
+        """Distinct cache blocks the trace touches (single pass)."""
         shift = block_bytes.bit_length() - 1
-        return len({addr >> shift for ops in self.ops for addr, _ in ops})
+        blocks: set = set()
+        add = blocks.add
+        for ops in self.ops:
+            for addr, _ in ops:
+                add(addr >> shift)
+        return len(blocks)
 
     def iter_records(self) -> Iterator[TraceRecord]:
         """All operations as records, core-major order."""

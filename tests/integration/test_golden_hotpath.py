@@ -1,0 +1,83 @@
+"""Golden-stats equivalence for the hot-path overhaul.
+
+The single-access pipeline was reworked for throughput (precomputed NoC
+tables, bound statistic counters, tuple-based grants, inlined replacement
+paths) under one contract: **cycle counts and the full statistics tree are
+bit-identical** to the pre-overhaul simulator for every directory kind.
+
+``tests/data/golden_hotpath.json`` was captured from the pre-overhaul code
+on a mixed workload through all five organizations.  These tests replay
+that workload and compare both the per-core cycle counts and the flattened
+``StatGroup`` tree key-for-key, value-for-value — so any optimization that
+drops a counter, reorders an interleave decision or changes a latency by
+one cycle fails loudly, naming the first divergent key.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import make_config
+from repro.common.config import DirectoryKind
+from repro.sim.simulator import run_trace
+from repro.workloads.suite import build_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_hotpath.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+KINDS = {
+    "sparse": DirectoryKind.SPARSE,
+    "cuckoo": DirectoryKind.CUCKOO,
+    "hierarchical": DirectoryKind.SCD,
+    "ideal": DirectoryKind.IDEAL,
+    "stash": DirectoryKind.STASH,
+}
+
+
+_RESULTS: dict = {}
+
+
+def _run_kind(name: str):
+    # Memoized per kind: the cycle and stats tests compare the same run.
+    cached = _RESULTS.get(name)
+    if cached is not None:
+        return cached
+    config = make_config(KINDS[name], ratio=GOLDEN["ratio"])
+    trace = build_workload(
+        GOLDEN["workload"],
+        config.num_cores,
+        GOLDEN["ops_per_core"],
+        seed=GOLDEN["seed"],
+        block_bytes=config.block_bytes,
+    )
+    result = _RESULTS[name] = run_trace(config, trace)
+    return result
+
+
+def test_golden_covers_every_kind():
+    assert set(GOLDEN["kinds"]) == set(KINDS)
+    assert GOLDEN["num_cores"] == 16
+
+
+@pytest.mark.parametrize("name", sorted(KINDS))
+def test_cycles_identical_to_golden(name):
+    result = _run_kind(name)
+    assert result.cycles_per_core == GOLDEN["kinds"][name]["cycles_per_core"]
+
+
+@pytest.mark.parametrize("name", sorted(KINDS))
+def test_stats_identical_to_golden(name):
+    result = _run_kind(name)
+    expected = GOLDEN["kinds"][name]["stats"]
+    stats = result.stats
+    # Key-set equality first, so a dropped or phantom counter is named.
+    missing = sorted(set(expected) - set(stats))
+    extra = sorted(set(stats) - set(expected))
+    assert not missing and not extra, f"missing={missing} extra={extra}"
+    for key in sorted(expected):
+        assert stats[key] == expected[key], (
+            f"{name}: stat {key!r} = {stats[key]} (golden {expected[key]})"
+        )

@@ -43,3 +43,53 @@ class TestBroadcast:
         )
         assert latency == 0 and fanout == 0
         assert net.traffic.total_messages() == 0
+
+
+class TestPrecomputedTables:
+    """Guard the table-lookup fast path of the hot-path overhaul.
+
+    ``send``/``broadcast`` must never recompute routes per message: they
+    read the N x N hop/latency tables the mesh builds once.  These tests
+    fail if a refactor silently regresses to calling route arithmetic on
+    the per-message path.
+    """
+
+    def test_network_holds_precomputed_tables(self):
+        net = make_network()
+        n = 16
+        assert len(net._hops) == n and all(len(row) == n for row in net._hops)
+        assert len(net._latencies) == n
+        # The aliases are the mesh's own tables, not copies.
+        assert net._hops is net.mesh.hop_table()
+        assert net._latencies is net.mesh.latency_table()
+
+    def test_send_does_not_recompute_routes(self, monkeypatch):
+        net = make_network()
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard trips on call
+            raise AssertionError("send() recomputed a route per message")
+
+        monkeypatch.setattr(net.mesh, "hops", boom)
+        monkeypatch.setattr(net.mesh, "latency", boom, raising=False)
+        assert net.send(0, 3, MessageClass.REQUEST) == 3 * 2 + 1
+        assert net.send(5, 5, MessageClass.DATA_RESPONSE) >= 0
+
+    def test_broadcast_does_not_recompute_routes(self, monkeypatch):
+        net = make_network()
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard trips on call
+            raise AssertionError("broadcast() recomputed a route per probe")
+
+        monkeypatch.setattr(net.mesh, "hops", boom)
+        monkeypatch.setattr(net.mesh, "latency", boom, raising=False)
+        latency, fanout = net.broadcast(
+            0, range(1, 16), MessageClass.DISCOVERY_PROBE, MessageClass.DISCOVERY_REPLY
+        )
+        assert fanout == 15 and latency > 0
+
+    def test_table_lookup_matches_route_arithmetic(self):
+        net = make_network()
+        for src in (0, 5, 15):
+            for dst in (0, 7, 15):
+                assert net._hops[src][dst] == net.mesh.hops(src, dst)
+                assert net._latencies[src][dst] == net.mesh.latency(src, dst)

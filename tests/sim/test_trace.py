@@ -58,6 +58,22 @@ class TestMetrics:
         records = list(trace.iter_records())
         assert records == [TraceRecord(1, 0x40, True)]
 
+    def test_write_fraction_multi_core(self):
+        trace = Trace(3)
+        for addr in range(0, 64 * 6, 64):
+            trace.append(0, addr, True)    # 6 writes
+        trace.append(1, 0, False)
+        trace.append(2, 64, False)         # 2 reads
+        assert trace.write_fraction() == 6 / 8
+
+    def test_unique_blocks_across_cores(self):
+        trace = Trace(2)
+        trace.append(0, 0, False)
+        trace.append(1, 32, True)     # same 64B block as core 0's access
+        trace.append(1, 4096, False)
+        assert trace.unique_blocks(64) == 2
+        assert trace.unique_blocks(4096) == 2  # 0/32 and 4096 split at 4KB too
+
 
 class TestFileIO:
     def test_roundtrip(self, tmp_path):
@@ -95,5 +111,41 @@ class TestFileIO:
     def test_bad_int_rejected(self, tmp_path):
         path = tmp_path / "t.csv"
         path.write_text("zero,0x40,R\n")
+        with pytest.raises(TraceError):
+            Trace.from_file(path, 1)
+
+    def test_roundtrip_preserves_metrics(self, tmp_path):
+        trace = Trace(4)
+        for core in range(4):
+            for i in range(8):
+                trace.append(core, (core * 8 + i) * 64, i % 2 == 0)
+        path = tmp_path / "t.csv"
+        trace.to_file(path)
+        loaded = Trace.from_file(path, 4)
+        assert loaded.ops == trace.ops
+        assert loaded.write_fraction() == trace.write_fraction()
+        assert loaded.unique_blocks(64) == trace.unique_blocks(64)
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0x40,R\n0,0x80\n")
+        with pytest.raises(TraceError, match=":2:"):
+            Trace.from_file(path, 1)
+
+    def test_too_many_fields_rejected(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,0x40,R,extra\n")
+        with pytest.raises(TraceError):
+            Trace.from_file(path, 1)
+
+    def test_core_out_of_range_in_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("3,0x40,R\n")
+        with pytest.raises(TraceError):
+            Trace.from_file(path, 2)
+
+    def test_negative_address_in_file(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0,-64,R\n")
         with pytest.raises(TraceError):
             Trace.from_file(path, 1)
