@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench bench-scaling bench-hotpath examples docs clean
+.PHONY: install test bench quick-bench bench-scaling bench-hotpath obs-smoke examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -32,6 +32,14 @@ bench-scaling:
 # docs/PERFORMANCE.md).  Append `--smoke` by hand for a quick CI-style run.
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
+
+# Traced + sampled smoke run with structural validation of the exports
+# (mirrors the CI obs-smoke job; see docs/OBSERVABILITY.md).
+obs-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro run --workload mix --kind stash \
+		--ratio 0.125 --ops 2000 --obs-epoch 256 --trace-events \
+		--check-invariants 1024 --obs-out obs_smoke
+	$(PYTHON) tools/validate_trace.py obs_smoke.trace.json obs_smoke.epochs.jsonl
 
 examples:
 	$(PYTHON) examples/quickstart.py

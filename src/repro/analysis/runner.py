@@ -43,8 +43,10 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..common.config import SystemConfig
+from ..obs import ObsConfig, attach
 from ..sim.results import SimulationResult
 from ..sim.simulator import run_trace
+from ..sim.system import build_system
 from ..workloads.suite import build_workload
 from .io import FORMAT_VERSION, config_to_dict, result_from_dict, result_to_dict
 
@@ -60,17 +62,32 @@ CODE_VERSION = 1
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One independent simulation: a workload run on one configuration."""
+    """One independent simulation: a workload run on one configuration.
+
+    ``obs`` attaches a :class:`repro.obs.ObsConfig` to the run: the worker
+    wires an observer into the built system and, when ``obs.out_prefix``
+    is set, writes the epoch/trace exports next to the simulation.
+    Observed points are **never cached** (neither memo nor disk): their
+    value is the side-channel files, and serving them from cache would
+    silently skip the exports.  ``cache_key`` builds its payload from
+    explicit fields, so plain points keep their existing cache keys.
+    """
 
     workload: str
     config: SystemConfig
     ops_per_core: int = 3000
     seed: int = 1
+    obs: Optional[ObsConfig] = None
 
     @property
     def memo_key(self) -> tuple:
         """Hashable in-memory memo key (the full parameterization)."""
         return (self.workload, self.ops_per_core, self.seed, self.config)
+
+    @property
+    def observed(self) -> bool:
+        """Does this point carry live observability (and bypass caching)?"""
+        return self.obs is not None and self.obs.enabled
 
 
 def cache_key(point: SweepPoint) -> str:
@@ -284,7 +301,16 @@ def _compute_point(point: SweepPoint) -> Tuple[SimulationResult, float]:
         seed=point.seed,
         block_bytes=point.config.block_bytes,
     )
-    result = run_trace(point.config, trace)
+    if point.observed:
+        system = build_system(point.config)
+        observer = attach(system, point.obs)
+        result = run_trace(point.config, trace, system=system, observer=observer)
+        observer.write_all(
+            meta={"workload": point.workload, "ops_per_core": point.ops_per_core,
+                  "seed": point.seed}
+        )
+    else:
+        result = run_trace(point.config, trace)
     return result, time.perf_counter() - start
 
 
@@ -346,6 +372,16 @@ def run_points(
     # memo_key -> (point, indices still waiting, disk key)
     pending: Dict[tuple, Tuple[SweepPoint, List[int], str]] = {}
     for index, point in enumerate(points):
+        if point.observed:
+            # Observed points bypass both cache layers (their exports are
+            # the point); key on the obs config too so identical sims with
+            # different observability stay distinct.
+            key = (point.memo_key, point.obs)
+            if key in pending:
+                pending[key][1].append(index)
+            else:
+                pending[key] = (point, [index], "")
+            continue
         key = point.memo_key
         hit = _MEMO.get(key)
         if hit is not None:
@@ -374,9 +410,10 @@ def run_points(
         ):
             counters.computed += 1
             counters.compute_seconds += seconds
-            _MEMO[point.memo_key] = result
-            if use_disk:
-                disk.store(disk_key, point, result)
+            if not point.observed:
+                _MEMO[point.memo_key] = result
+                if use_disk:
+                    disk.store(disk_key, point, result)
             for index in indices:
                 results[index] = result
     counters.batch_seconds += time.perf_counter() - batch_start

@@ -14,8 +14,16 @@ Subcommands:
 * ``fuzz`` — protocol fuzzing: random multi-core programs over a tiny,
   conflict-dense system with the full invariant suite checked after every
   access.
+* ``timeline`` — observed sparse-vs-stash divergence timeline: epoch
+  time-series tables plus Perfetto trace exports (repro.obs).
 * ``compare`` — side-by-side diff of result files saved with ``--save``.
 * ``report`` — regenerate the whole evaluation into one markdown file.
+
+Observability flags on ``run`` and ``replay`` (see docs/OBSERVABILITY.md):
+``--obs-epoch N`` samples the epoch time-series, ``--trace-events [CAP]``
+records coherence events into a bounded ring, ``--check-invariants [N]``
+runs the invariant suite every N ops, and ``--obs-out PREFIX`` names the
+export files.
 
 Every command prints plain text (the same tables the benchmark harness
 emits) and returns a non-zero exit code on error.
@@ -73,7 +81,7 @@ def _config_from_args(args: argparse.Namespace):
         ratio=args.ratio,
         num_cores=args.cores,
         seed=args.seed,
-        check_invariants=getattr(args, "check_invariants", False),
+        check_invariants=bool(getattr(args, "check_invariants", 0)),
         moesi=getattr(args, "moesi", False),
     )
 
@@ -83,6 +91,65 @@ def _add_common_run_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cores", type=int, default=16)
     parser.add_argument("--ops", type=int, default=3000, help="ops per core")
     parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``replay`` (repro.obs)."""
+    from .obs import DEFAULT_TRACE_CAPACITY
+
+    parser.add_argument(
+        "--obs-epoch", type=int, default=0, metavar="N",
+        help="sample the epoch time-series every N ops (0 = off)",
+    )
+    parser.add_argument(
+        "--trace-events", nargs="?", const=DEFAULT_TRACE_CAPACITY, type=int,
+        default=0, metavar="CAP",
+        help=f"record coherence events in a ring of CAP entries "
+             f"(bare flag = {DEFAULT_TRACE_CAPACITY})",
+    )
+    parser.add_argument(
+        "--obs-out", default=None, metavar="PREFIX",
+        help="write <PREFIX>.epochs.jsonl/.csv and <PREFIX>.trace.json "
+             "(default: derived from --save, else 'obs')",
+    )
+
+
+def _attach_observer(system, args: argparse.Namespace):
+    """Build + attach the observer the CLI flags describe (or None)."""
+    from .obs import ObsConfig, attach
+
+    config = ObsConfig(
+        epoch_interval=getattr(args, "obs_epoch", 0),
+        trace_capacity=getattr(args, "trace_events", 0),
+        invariant_interval=getattr(args, "check_invariants", 0) or 0,
+        out_prefix=getattr(args, "obs_out", None),
+    )
+    return attach(system, config)
+
+
+def _write_obs(observer, args: argparse.Namespace) -> None:
+    """Export the observer's data and print what was written."""
+    if observer is None:
+        return
+    prefix = getattr(args, "obs_out", None)
+    if not prefix and (observer.sampler is not None or observer.ring is not None):
+        prefix = "obs"
+    meta = {
+        name: getattr(args, name)
+        for name in ("workload", "kind", "ratio", "cores", "ops", "seed")
+        if getattr(args, name, None) is not None
+    }
+    written = observer.write_all(prefix, meta)
+    ring = observer.ring
+    if ring is not None:
+        print(
+            f"traced {ring.total} events "
+            f"({len(ring)} retained, {ring.dropped} dropped)"
+        )
+    if observer.sampler is not None:
+        print(f"sampled {len(observer.sampler.epochs)} epochs")
+    for path in written:
+        print(f"wrote {path}")
 
 
 def _maybe_save(result, args) -> None:
@@ -102,12 +169,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         config = replace(config, memory_model=MemoryModel.DRAM)
     trace = build_workload(args.workload, args.cores, args.ops, seed=args.seed)
-    result = Simulator(build_system(config), warmup_ops=args.warmup).run(trace)
+    system = build_system(config)
+    observer = _attach_observer(system, args)
+    result = Simulator(
+        system, warmup_ops=args.warmup, observer=observer
+    ).run(trace)
     print(render_kv(config.describe().items(), title="configuration"))
     print()
     rows = [[key, value] for key, value in result.summary().items()]
     print(render_table(["metric", "value"], rows, title=f"results: {args.workload}"))
     _maybe_save(result, args)
+    _write_obs(observer, args)
     return 0
 
 
@@ -177,10 +249,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
     """Simulate a CSV trace file."""
     trace = Trace.from_file(args.trace, num_cores=args.cores)
     config = _config_from_args(args)
-    result = Simulator(build_system(config), warmup_ops=args.warmup).run(trace)
+    system = build_system(config)
+    observer = _attach_observer(system, args)
+    result = Simulator(
+        system, warmup_ops=args.warmup, observer=observer
+    ).run(trace)
     rows = [[key, value] for key, value in result.summary().items()]
     print(render_table(["metric", "value"], rows, title=f"replay: {args.trace}"))
     _maybe_save(result, args)
+    _write_obs(observer, args)
     return 0
 
 
@@ -237,6 +314,29 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         f"({len(kinds)} organizations, seeds {args.seed}..{args.seed + args.rounds - 1}): "
         "all invariants held"
     )
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Observed sparse-vs-stash divergence timeline at one ratio.
+
+    Runs both organizations with the epoch sampler and event tracer
+    attached, prints per-epoch divergence tables and writes the Perfetto
+    trace + epoch series next to the given prefix.
+    """
+    from .analysis.timeline import run_timeline
+
+    out = run_timeline(
+        workload=args.workload,
+        ratio=args.ratio,
+        num_cores=args.cores,
+        ops_per_core=args.ops,
+        seed=args.seed,
+        out_prefix=args.out,
+        epoch_interval=args.obs_epoch,
+        trace_capacity=args.trace_events,
+    )
+    print(out.text)
     return 0
 
 
@@ -299,8 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--warmup", type=int, default=0)
     run.add_argument("--dram", action="store_true", help="use the banked DRAM model")
     run.add_argument("--moesi", action="store_true", help="run MOESI instead of MESI")
-    run.add_argument("--check-invariants", action="store_true")
+    run.add_argument(
+        "--check-invariants", nargs="?", const=1024, type=int, default=0,
+        metavar="N",
+        help="run the invariant suite every N ops (bare flag = 1024)",
+    )
     run.add_argument("--save", metavar="PATH", help="write the result as JSON")
+    _add_obs_args(run)
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help=cmd_sweep.__doc__)
@@ -338,8 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--ratio", type=float, default=0.125)
     replay.add_argument("--seed", type=int, default=1)
     replay.add_argument("--warmup", type=int, default=0)
-    replay.add_argument("--check-invariants", action="store_true")
+    replay.add_argument(
+        "--check-invariants", nargs="?", const=1024, type=int, default=0,
+        metavar="N",
+        help="run the invariant suite every N ops (bare flag = 1024)",
+    )
     replay.add_argument("--save", metavar="PATH", help="write the result as JSON")
+    _add_obs_args(replay)
     replay.set_defaults(func=cmd_replay)
 
     fuzz = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)
@@ -353,6 +463,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[k.value for k in DirectoryKind],
     )
     fuzz.set_defaults(func=cmd_fuzz)
+
+    timeline = sub.add_parser("timeline", help=cmd_timeline.__doc__)
+    _add_common_run_args(timeline)
+    timeline.add_argument("--ratio", type=float, default=0.125)
+    timeline.add_argument(
+        "--out", default="timeline", metavar="PREFIX",
+        help="export prefix (<PREFIX>.<kind>.epochs.jsonl/.csv, .trace.json)",
+    )
+    timeline.add_argument(
+        "--obs-epoch", type=int, default=256, metavar="N",
+        help="epoch-sampler interval in ops",
+    )
+    timeline.add_argument(
+        "--trace-events", type=int, default=65536, metavar="CAP",
+        help="event-ring capacity per run",
+    )
+    timeline.set_defaults(func=cmd_timeline)
 
     compare = sub.add_parser("compare", help=cmd_compare.__doc__)
     compare.add_argument("results", nargs="+", help="JSON files from --save")

@@ -25,6 +25,7 @@ from ..common.errors import ProtocolError
 from ..common.stats import StatCounter, StatGroup
 from ..noc.network import Network
 from ..noc.traffic import MessageClass
+from ..obs.events import EV_GRANT, EV_MISS, EV_UPGRADE
 from .llc_controller import HomeController
 from .states import MesiState
 
@@ -73,6 +74,10 @@ class L1Controller:
         self._lat_l2_hit = timing.l1_hit + timing.l2_hit
         # A miss checked both private levels when an L2 exists.
         self._lat_miss_detect = self._lat_l2_hit if self.has_l2 else self._lat_l1_hit
+        # Observability probe (repro.obs): None is the null probe — the
+        # miss/upgrade paths test it once and emit nothing.  When tracing
+        # is attached this becomes EventRing.append.
+        self._obs = None
         # Per-access counters, bound on first event (shape-preserving).
         self._c_accesses: Optional[StatCounter] = None
         self._c_reads: Optional[StatCounter] = None
@@ -156,6 +161,9 @@ class L1Controller:
         block.state = _S_MODIFIED
         block.dirty = True
         block.version = self._mint_version(addr)
+        obs = self._obs
+        if obs is not None:
+            obs((self.home.now, EV_UPGRADE, self.core_id, addr, latency, 0))
         return latency
 
     # -- miss -------------------------------------------------------------------
@@ -167,7 +175,8 @@ class L1Controller:
         cell.value += 1
         core_id = self.core_id
         invalidated = self._dir_invalidated
-        if addr in invalidated:
+        coverage = addr in invalidated
+        if coverage:
             # This copy was lost to a directory eviction: a coverage miss.
             invalidated.discard(addr)
             cell = self._c_coverage_misses
@@ -197,4 +206,11 @@ class L1Controller:
             if state != _S_MODIFIED:  # pragma: no cover
                 raise ProtocolError(f"write miss granted {MesiState(state)}")
             filled.version = self._mint_version(addr)
+        obs = self._obs
+        if obs is not None:
+            now = self.home.now
+            write_bit = 1 if is_write else 0
+            obs((now, EV_MISS, core_id, addr, 0,
+                 write_bit | (2 if coverage else 0)))
+            obs((now, EV_GRANT, core_id, addr, latency, write_bit | (state << 1)))
         return latency

@@ -45,6 +45,16 @@ from ..directory.base import Directory, DirectoryEntry, Eviction, EvictionAction
 from ..mem import Memory
 from ..noc.network import Network
 from ..noc.traffic import MessageClass
+from ..obs.events import (
+    CAUSE_DIR_EVICT,
+    CAUSE_LLC_EVICT,
+    CAUSE_WRITE,
+    EV_DIR_EVICT,
+    EV_DISCOVERY,
+    EV_INVAL,
+    EV_LLC_EVICT,
+    EV_STASH_SPILL,
+)
 from .states import CoherenceProtocol, MesiState
 
 # Raw int MESI states for the tuple-based grant path (no enum construction
@@ -113,6 +123,9 @@ class HomeController:
         # (optional) home-bank contention model.
         self.now: float = 0.0
         self._home_busy_until = [0.0] * config.num_cores
+        # Observability probe (repro.obs): None is the null probe — emission
+        # sites test it once and skip; tracing swaps in EventRing.append.
+        self._obs = None
         # Stash machinery only engages for stash-capable organizations.
         self.stash_capable = hasattr(directory, "eligibility")
         # MOESI adds the Owned state: dirty sharing, owner-supplied data.
@@ -387,6 +400,13 @@ class HomeController:
             self._notify_discovery(result.found)
         if result.found and is_write:
             self._filter_remove(result.hider, addr)
+        obs = self._obs
+        if obs is not None:
+            demand_code = 1 if is_write else 0
+            obs((self.now, EV_DISCOVERY,
+                 result.hider if result.found else -1, addr, result.latency,
+                 (1 if result.found else 0) | (demand_code << 1)
+                 | (result.fanout << 3)))
         latency += result.latency
         self.llc.clear_stash_bit(addr)
         if result.dirty_version is not None:
@@ -546,6 +566,10 @@ class HomeController:
             if cell is None:
                 cell = self._c_stash_evictions = self.stats.counter("stash_evictions")
             cell.value += 1
+            obs = self._obs
+            if obs is not None:
+                hider = victim.sole_holder() if victim.is_private() else -1
+                obs((self.now, EV_STASH_SPILL, hider, victim.addr, 0, 0))
             return 0
         # Conventional invalidating eviction.
         if victim.is_private():
@@ -562,12 +586,17 @@ class HomeController:
                 )
         cell.value += 1
         latency = self._invalidate_victim_entry(victim, home)
+        obs = self._obs
+        if obs is not None:
+            obs((self.now, EV_DIR_EVICT, -1, victim.addr, latency,
+                 len(victim.targets())))
         return latency
 
     def _invalidate_victim_entry(self, victim: DirectoryEntry, home: int) -> int:
         """Invalidate every (believed) copy of a displaced entry's block."""
         worst = 0
         targets = victim.targets()
+        obs = self._obs
         msg_cell = self._c_dir_eviction_inval_msgs
         if msg_cell is None and targets:
             msg_cell = self._c_dir_eviction_inval_msgs = self.stats.counter(
@@ -584,6 +613,9 @@ class HomeController:
                 # not a live copy was found (silent evictions included).
                 self._filter_remove(target, victim.addr)
             removed = self._l1_invalidate[target](victim.addr)
+            if obs is not None:
+                obs((self.now, EV_INVAL, target, victim.addr, 0,
+                     CAUSE_DIR_EVICT | (4 if removed is not None else 0)))
             if removed is None:
                 continue
             cell = self._c_dir_induced_invalidations
@@ -616,6 +648,7 @@ class HomeController:
         holds the identical latest data.
         """
         worst = 0
+        obs = self._obs
         for target in entry.targets():
             if target == skip or target == also_skip:
                 continue
@@ -632,6 +665,9 @@ class HomeController:
             if target in entry.believed:
                 self._filter_remove(target, addr)
             removed = self._l1_invalidate[target](addr)
+            if obs is not None:
+                obs((self.now, EV_INVAL, target, addr, 0,
+                     CAUSE_WRITE | (4 if removed is not None else 0)))
             if removed is not None and removed.dirty:
                 if not self.moesi:  # pragma: no cover - impossible in MESI
                     raise ProtocolError("dirty copy found among read-shared targets")
@@ -654,6 +690,8 @@ class HomeController:
         assert block is not None
         version = block.version
         dirty = bool(block.dirty)
+        had_stash = bool(block.stash)
+        obs = self._obs
         entry = self.directory.lookup(victim_addr, touch=False)
         if entry is not None:
             for target in entry.targets():
@@ -662,6 +700,9 @@ class HomeController:
                 if target in entry.believed:
                     self._filter_remove(target, victim_addr)
                 removed = self._l1_invalidate[target](victim_addr)
+                if obs is not None:
+                    obs((self.now, EV_INVAL, target, victim_addr, 0,
+                         CAUSE_LLC_EVICT | (4 if removed is not None else 0)))
                 if removed is not None:
                     self.stats.add("llc_back_invalidations")
                     if removed.dirty:
@@ -683,7 +724,16 @@ class HomeController:
             if result.dirty_version is not None:
                 dirty = True
                 version = max(version, result.dirty_version)
+            if obs is not None:
+                obs((self.now, EV_DISCOVERY,
+                     result.hider if result.found else -1, victim_addr,
+                     result.latency,
+                     (1 if result.found else 0) | (2 << 1)
+                     | (result.fanout << 3)))
         self.llc.invalidate(victim_addr)
+        if obs is not None:
+            obs((self.now, EV_LLC_EVICT, -1, victim_addr, 0,
+                 (1 if dirty else 0) | (2 if had_stash else 0)))
         if dirty:
             self._send(home, home, MessageClass.MEMORY)
             self.memory.write(victim_addr, self.now)

@@ -55,3 +55,16 @@ class StashDirectory(SparseDirectory):
             return dirset.policy.victim(eligible), EvictionAction.STASH
         self.stats.add("forced_invalidations")
         return dirset.policy.victim(), EvictionAction.INVALIDATE
+
+    def obs_gauges(self) -> dict:
+        gauges = super().obs_gauges()
+        private = 0
+        eligible = 0
+        for entry in self.iter_entries():
+            if entry.is_private():
+                private += 1
+            if is_stash_eligible(entry, self.eligibility):
+                eligible += 1
+        gauges["private_entries"] = private
+        gauges["stash_eligible_entries"] = eligible
+        return gauges

@@ -180,6 +180,19 @@ class Directory:
         """All live entries (deterministic order, for invariant checks)."""
         raise NotImplementedError
 
+    def obs_gauges(self) -> dict:
+        """Instantaneous gauges the epoch sampler snapshots (repro.obs).
+
+        Organizations override to add structure-specific gauges (full
+        sets, load factor, private-entry population...).  Off the hot
+        path: called once per epoch, never per operation.
+        """
+        occupancy = self.occupancy()
+        gauges = {"occupancy": occupancy}
+        if self.capacity:
+            gauges["utilization"] = occupancy / self.capacity
+        return gauges
+
     def contains(self, addr: int) -> bool:
         """Presence test without touching replacement state."""
         return self.lookup(addr, touch=False) is not None

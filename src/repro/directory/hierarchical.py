@@ -199,3 +199,9 @@ class ScdDirectory(Directory):
     def utilization(self) -> float:
         """Fraction of the line budget in use."""
         return self._total_lines / self.capacity if self.capacity else 0.0
+
+    def obs_gauges(self) -> dict:
+        gauges = super().obs_gauges()
+        gauges["total_lines"] = self._total_lines
+        gauges["line_utilization"] = self.utilization()
+        return gauges

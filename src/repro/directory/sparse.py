@@ -209,3 +209,10 @@ class SparseDirectory(Directory):
     def set_occupancy(self, addr: int) -> int:
         """Live entries in the set ``addr`` maps to (test helper)."""
         return len(self._set_of(addr).by_addr)
+
+    def obs_gauges(self) -> dict:
+        gauges = super().obs_gauges()
+        gauges["full_sets"] = sum(
+            1 for dirset in self._sets if len(dirset.by_addr) == dirset.ways
+        )
+        return gauges

@@ -1,0 +1,245 @@
+"""Exporters: epoch time-series to JSONL/CSV, event traces to Chrome JSON.
+
+Three on-disk formats, all plain text:
+
+* **Epoch JSONL** — first line is a ``{"type": "meta", ...}`` header
+  (interval, sampled keys, system description), then one JSON object per
+  epoch exactly as :class:`~repro.obs.epoch.EpochSampler` recorded it
+  (delta-encoded counters under ``"d"``, absolute gauges under ``"g"``).
+* **Epoch CSV** — the same series widened into columns (``d_<key>`` delta
+  columns, ``g_<name>`` gauge columns) for spreadsheets and pandas.
+* **Chrome trace JSON** — the event ring rendered in the Trace Event
+  Format that ``chrome://tracing`` and https://ui.perfetto.dev load
+  directly: span events (``ph: "X"``) for grants/upgrades/evictions/
+  discoveries with their critical-path cycles as the duration, instant
+  events (``ph: "i"``) for misses/invalidations/LLC evictions, one track
+  per core plus a ``home`` track for home-side events, and thread-name
+  metadata so the viewer labels tracks.  Timestamps are simulated cycles
+  written into the microsecond field — absolute wall time is meaningless
+  in a trace-driven simulator, relative position is what the viewer shows.
+
+Every exporter sorts defensively by timestamp so the emitted files are
+monotonic even if a future emission site breaks the natural order, and the
+trace records ``dropped_events`` so a truncated head is visible, not
+silent.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .epoch import EpochSampler
+from .events import (
+    EV_DIR_EVICT,
+    EV_DISCOVERY,
+    EV_GRANT,
+    EV_INVAL,
+    EV_LLC_EVICT,
+    EV_MISS,
+    EV_STASH_SPILL,
+    EV_UPGRADE,
+    EVENT_NAMES,
+    EventRing,
+    decode_args,
+)
+
+#: Kinds rendered as span ("X") events; everything else is an instant.
+_SPAN_KINDS = frozenset({EV_GRANT, EV_UPGRADE, EV_DIR_EVICT, EV_DISCOVERY})
+
+#: Kinds tracked on the shared "home" track rather than a core track.
+_HOME_KINDS = frozenset({EV_DIR_EVICT, EV_STASH_SPILL, EV_LLC_EVICT})
+
+#: Trace-viewer category per kind (Perfetto's filter facet).
+_CATEGORIES = {
+    EV_MISS: "l1",
+    EV_GRANT: "l1",
+    EV_UPGRADE: "l1",
+    EV_DIR_EVICT: "directory",
+    EV_STASH_SPILL: "directory",
+    EV_DISCOVERY: "discovery",
+    EV_INVAL: "protocol",
+    EV_LLC_EVICT: "llc",
+}
+
+_HOME_TID = 10_000  # track id for home-side events (above any core id)
+
+
+# ------------------------------------------------------------------ epochs
+
+def epochs_meta(sampler: EpochSampler, extra: Optional[Dict] = None) -> Dict:
+    """The JSONL header record describing one epoch series."""
+    meta: Dict[str, object] = {
+        "type": "meta",
+        "format": "repro.obs.epochs",
+        "version": 1,
+        "interval": sampler.interval,
+        "keys": list(sampler.keys) if sampler.keys is not None else None,
+        "epochs": len(sampler.epochs),
+    }
+    if extra:
+        meta.update(extra)
+    return meta
+
+
+def write_epochs_jsonl(
+    sampler: EpochSampler,
+    path: Union[str, Path],
+    extra_meta: Optional[Dict] = None,
+) -> Path:
+    """Write meta line + one JSON object per epoch; returns the path."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        handle.write(json.dumps(epochs_meta(sampler, extra_meta)) + "\n")
+        for epoch in sampler.epochs:
+            handle.write(json.dumps(epoch) + "\n")
+    return path
+
+
+def read_epochs_jsonl(path: Union[str, Path]) -> tuple:
+    """Load an epoch JSONL file; returns ``(meta, epochs)``."""
+    meta: Dict = {}
+    epochs: List[Dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "meta":
+                meta = record
+            else:
+                epochs.append(record)
+    return meta, epochs
+
+
+def write_epochs_csv(sampler: EpochSampler, path: Union[str, Path]) -> Path:
+    """Widen the epoch series into one CSV table; returns the path."""
+    path = Path(path)
+    counter_keys, gauge_names = sampler.field_names()
+    header = (
+        ["op", "clock"]
+        + [f"d_{key}" for key in counter_keys]
+        + [f"g_{name}" for name in gauge_names]
+    )
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for epoch in sampler.epochs:
+            deltas = epoch["d"]
+            gauges = epoch["g"]
+            writer.writerow(
+                [epoch["op"], epoch["clock"]]
+                + [deltas.get(key, 0.0) for key in counter_keys]
+                + [gauges.get(name, 0.0) for name in gauge_names]
+            )
+    return path
+
+
+# ------------------------------------------------------------------ traces
+
+def chrome_trace(
+    ring: EventRing,
+    meta: Optional[Dict] = None,
+    pid: int = 1,
+) -> Dict:
+    """Render the event ring as a Trace Event Format document (dict).
+
+    The returned dict is ``json.dump``-ready; :func:`write_chrome_trace`
+    is the file-writing convenience.
+    """
+    events = sorted(ring.events(), key=lambda event: event[0])
+    trace_events: List[Dict] = []
+    tracks = set()
+    for ts, kind, core, addr, dur, arg in events:
+        tid = _HOME_TID if kind in _HOME_KINDS or core < 0 else core
+        tracks.add(tid)
+        args = decode_args(kind, arg)
+        args["addr"] = f"{addr:#x}"
+        record: Dict[str, object] = {
+            "name": EVENT_NAMES.get(kind, str(kind)),
+            "cat": _CATEGORIES.get(kind, "protocol"),
+            "ts": ts,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        }
+        if kind in _SPAN_KINDS:
+            record["ph"] = "X"
+            record["dur"] = max(dur, 1)  # zero-width spans vanish in viewers
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"  # thread-scoped instant
+        trace_events.append(record)
+    # Thread-name metadata so viewers label the tracks.
+    for tid in sorted(tracks):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "home" if tid == _HOME_TID else f"core {tid}"},
+        })
+    document: Dict[str, object] = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": "repro.obs.trace",
+            "version": 1,
+            "clock_unit": "cycles",
+            "events_emitted": ring.total,
+            "events_retained": len(ring),
+            "dropped_events": ring.dropped,
+            "counts_by_kind": ring.counts_by_kind(),
+        },
+    }
+    if meta:
+        document["otherData"].update(meta)  # type: ignore[union-attr]
+    return document
+
+
+def write_chrome_trace(
+    ring: EventRing,
+    path: Union[str, Path],
+    meta: Optional[Dict] = None,
+) -> Path:
+    """Write the ring as Perfetto-loadable JSON; returns the path."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(ring, meta), handle)
+    return path
+
+
+def validate_chrome_trace(document: Dict) -> List[str]:
+    """Structural checks on a trace document; returns problem strings.
+
+    Used by the CI smoke job (``tools/validate_trace.py``) and the export
+    tests: required top-level keys, per-event required fields, and
+    non-decreasing timestamps over the non-metadata events.
+    """
+    problems: List[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    other = document.get("otherData", {})
+    if "dropped_events" not in other:
+        problems.append("otherData.dropped_events missing")
+    last_ts = None
+    for index, event in enumerate(events):
+        if event.get("ph") == "M":
+            continue
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                problems.append(f"event {index} missing {field!r}")
+        if event.get("ph") == "X" and "dur" not in event:
+            problems.append(f"span event {index} missing 'dur'")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"event {index} timestamp {ts} < previous {last_ts}"
+                )
+            last_ts = ts
+    return problems

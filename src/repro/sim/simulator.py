@@ -14,6 +14,13 @@ Debug support: with ``config.check_invariants`` the full invariant suite
 operations and once at the end — slow, but it turns any protocol bug into a
 pinpointed failure.  ``sample_interval`` controls periodic sampling of the
 effective-tracking metric (experiment F7).
+
+Observability (:mod:`repro.obs`): pass an attached
+:class:`~repro.obs.Observer` and the run loop additionally fires the epoch
+sampler every ``observer.epoch_interval`` operations (plus a final partial
+epoch) and honors ``observer.invariant_interval`` as the invariant cadence
+even when the config flag is off.  With no observer every probe stays a
+``-1`` threshold that never fires — the null-probe contract.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ class Simulator:
         invariant_interval: int = 1024,
         sample_interval: int = 4096,
         warmup_ops: int = 0,
+        observer=None,
     ) -> None:
         self.system = system
         if invariant_interval < 1:
@@ -49,6 +57,7 @@ class Simulator:
         if warmup_ops < 0:
             raise TraceError("warmup_ops must be non-negative")
         self.warmup_ops = warmup_ops
+        self.observer = observer
 
     def run(self, trace: Trace) -> SimulationResult:
         """Execute the whole trace; returns the result snapshot.
@@ -78,10 +87,22 @@ class Simulator:
         warmup_ops = self.warmup_ops
         invariant_interval = self.invariant_interval
         sample_interval = self.sample_interval
+        observer = self.observer
+        epoch_interval = 0
+        sample_epoch = None
+        if observer is not None:
+            epoch_interval = observer.epoch_interval
+            sample_epoch = observer.sample_epoch
+            if observer.invariant_interval > 0:
+                # The observer's cadence wins: it enables checking even when
+                # the config flag is off, matching CLI --check-invariants N.
+                check = True
+                invariant_interval = observer.invariant_interval
         # Next-threshold counters replace per-op modulo checks; identical
         # firing pattern for any interval >= 1 (enforced at construction).
         next_invariant = invariant_interval if check else -1
         next_sample = sample_interval
+        next_epoch = epoch_interval if epoch_interval else -1
         warmup_clocks = [0.0] * trace.num_cores
         system = self.system
         access = system.access
@@ -128,6 +149,9 @@ class Simulator:
                 if processed == next_sample:
                     next_sample += sample_interval
                     samples.append(effective_tracking())
+                if processed == next_epoch:
+                    next_epoch += epoch_interval
+                    sample_epoch(processed, clock)
             clocks[core] = clock
             cursors[core] = len(trace.ops[core])
         else:
@@ -169,6 +193,9 @@ class Simulator:
                     if processed == next_sample:
                         next_sample += sample_interval
                         samples.append(effective_tracking())
+                    if processed == next_epoch:
+                        next_epoch += epoch_interval
+                        sample_epoch(processed, clock)
                     if cursor == remaining:
                         break
                     if heap:
@@ -181,6 +208,9 @@ class Simulator:
 
         if check:
             check_invariants()
+        if epoch_interval and processed != next_epoch - epoch_interval:
+            # Final partial epoch so the series always covers the whole run.
+            sample_epoch(processed, max(clocks))
         return SimulationResult(
             config=config,
             cycles_per_core=[
@@ -195,11 +225,14 @@ def run_trace(
     config,
     trace: Trace,
     system: Optional[CoherentSystem] = None,
+    observer=None,
 ) -> SimulationResult:
     """Convenience one-shot: build the system (unless given) and run.
 
     This is the function the examples, experiments and most tests call.
+    ``observer`` is a pre-attached :class:`repro.obs.Observer` (it must wrap
+    the same ``system`` when one is passed).
     """
     if system is None:
         system = build_system(config)
-    return Simulator(system).run(trace)
+    return Simulator(system, observer=observer).run(trace)

@@ -81,6 +81,87 @@ class TestHierarchy:
         assert root.to_dict() == {}
 
 
+class TestBoundCells:
+    """Regression contract for lazily bound cells vs ``reset``/``merge``.
+
+    Controllers bind hot-path cells once (``counter()``) and increment them
+    forever; epoch sampling and sweep aggregation call ``reset()`` and
+    ``merge()`` around them.  These tests pin the interaction: bound handles
+    must never go stale.
+    """
+
+    def test_counter_rebinds_same_cell(self):
+        group = StatGroup("g")
+        cell = group.counter("hits")
+        assert group.counter("hits") is cell
+        cell.add(2)
+        assert group.get("hits") == 2.0
+
+    def test_counter_binds_cell_created_by_add(self):
+        group = StatGroup("g")
+        group.add("hits", 3)
+        cell = group.counter("hits")
+        assert cell.value == 3.0
+        group.add("hits")
+        assert cell.value == 4.0
+
+    def test_reset_keeps_bound_handles_live(self):
+        group = StatGroup("g")
+        cell = group.counter("hits")
+        cell.add(5)
+        group.reset()
+        assert cell.value == 0.0
+        cell.add(1)
+        assert group.get("hits") == 1.0  # same cell, not a detached orphan
+
+    def test_reset_drops_unbound_counters_only(self):
+        group = StatGroup("g")
+        group.counter("bound").add(1)
+        group.add("unbound", 1)
+        group.reset()
+        assert "bound" in group.counters()
+        assert "unbound" not in group.counters()
+        group.add("unbound")  # reappears on next increment, as before
+        assert group.get("unbound") == 1.0
+
+    def test_binding_after_reset_works(self):
+        group = StatGroup("g")
+        group.add("hits", 9)
+        group.reset()
+        cell = group.counter("hits")
+        cell.add(2)
+        assert group.get("hits") == 2.0
+
+    def test_merge_accumulates_into_bound_cells_in_place(self):
+        dest = StatGroup("dest")
+        cell = dest.counter("hits")
+        cell.add(1)
+        src = StatGroup("src")
+        src.add("hits", 10)
+        dest.merge(src)
+        assert cell.value == 11.0  # the outstanding handle saw the merge
+        assert src.get("hits") == 10.0  # source untouched
+
+    def test_merge_then_reset_then_increment(self):
+        dest = StatGroup("dest")
+        cell = dest.counter("hits")
+        src = StatGroup("src")
+        src.add("hits", 7)
+        dest.merge(src)
+        dest.reset()
+        cell.add(1)
+        assert dest.get("hits") == 1.0
+
+    def test_child_bound_cells_survive_parent_reset(self):
+        root = StatGroup("root")
+        cell = root.child("l1").counter("misses")
+        cell.add(4)
+        root.reset()
+        assert cell.value == 0.0
+        cell.add(2)
+        assert root.to_dict() == {"root.l1.misses": 2.0}
+
+
 class TestHelpers:
     def test_ratio(self):
         assert ratio(1, 2) == 0.5

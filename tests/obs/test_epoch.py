@@ -1,0 +1,113 @@
+"""EpochSampler: delta encoding, series reconstruction, gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.epoch import DEFAULT_EPOCH_KEYS, EpochSampler
+
+
+class FakeDirectory:
+    def __init__(self):
+        self.gauges = {"occupancy": 0.0}
+
+    def obs_gauges(self):
+        return dict(self.gauges)
+
+
+class FakeLLC:
+    def __init__(self):
+        self.bits = 0
+
+    def stash_bit_count(self):
+        return self.bits
+
+
+class FakeSystem:
+    """Minimal system facade the sampler reads: stats + gauges."""
+
+    def __init__(self):
+        self.stats = {}
+        self.directory = FakeDirectory()
+        self.llc = FakeLLC()
+
+    def flat_stats(self):
+        return dict(self.stats)
+
+    def effective_tracking(self):
+        return self.directory.gauges["occupancy"] + self.llc.bits
+
+
+KEY = "system.protocol.l1_misses"
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        EpochSampler(FakeSystem(), 0)
+
+
+def test_default_keys_used_when_unspecified():
+    sampler = EpochSampler(FakeSystem(), 64)
+    assert sampler.keys == DEFAULT_EPOCH_KEYS
+
+
+def test_delta_encoding_and_zero_omission():
+    system = FakeSystem()
+    sampler = EpochSampler(system, 64, keys=[KEY, "system.noc.msgs.total"])
+    system.stats = {KEY: 10.0, "system.noc.msgs.total": 5.0}
+    first = sampler.sample(64, 100.0)
+    assert first["d"] == {KEY: 10.0, "system.noc.msgs.total": 5.0}
+
+    # Only one counter moves: the quiet one is omitted entirely.
+    system.stats = {KEY: 17.0, "system.noc.msgs.total": 5.0}
+    second = sampler.sample(128, 220.0)
+    assert second["d"] == {KEY: 7.0}
+    assert second["op"] == 128
+    assert second["clock"] == 220.0
+
+
+def test_series_reconstructs_cumulative_values():
+    system = FakeSystem()
+    sampler = EpochSampler(system, 32, keys=[KEY])
+    for total in (4.0, 4.0, 9.0, 20.0):
+        system.stats = {KEY: total}
+        sampler.sample(0, 0.0)
+    assert sampler.series(KEY) == [4.0, 4.0, 9.0, 20.0]
+    assert sampler.delta_series(KEY) == [4.0, 0.0, 5.0, 11.0]
+
+
+def test_unknown_keys_are_skipped_not_errors():
+    system = FakeSystem()
+    sampler = EpochSampler(system, 32, keys=["nope.not.there", KEY])
+    system.stats = {KEY: 3.0}
+    record = sampler.sample(32, 1.0)
+    assert record["d"] == {KEY: 3.0}
+
+
+def test_gauges_are_absolute_and_prefixed():
+    system = FakeSystem()
+    sampler = EpochSampler(system, 32, keys=[KEY])
+    system.directory.gauges = {"occupancy": 12.0, "full_sets": 2.0}
+    system.llc.bits = 7
+    record = sampler.sample(32, 1.0)
+    assert record["g"]["dir_occupancy"] == 12.0
+    assert record["g"]["dir_full_sets"] == 2.0
+    assert record["g"]["stash_bits"] == 7.0
+    assert record["g"]["effective_tracking"] == 19.0
+    # Gauges stay absolute: a second identical sample repeats the values.
+    again = sampler.sample(64, 2.0)
+    assert again["g"] == record["g"]
+    assert sampler.gauge_series("stash_bits") == [7.0, 7.0]
+
+
+def test_field_names_cover_every_epoch():
+    system = FakeSystem()
+    sampler = EpochSampler(system, 32, keys=[KEY, "system.noc.msgs.total"])
+    system.stats = {KEY: 1.0}
+    sampler.sample(32, 1.0)
+    system.stats = {KEY: 1.0, "system.noc.msgs.total": 4.0}
+    sampler.sample(64, 2.0)
+    counter_keys, gauge_names = sampler.field_names()
+    assert KEY in counter_keys
+    assert "system.noc.msgs.total" in counter_keys
+    assert "dir_occupancy" in gauge_names

@@ -1,0 +1,123 @@
+"""EventRing semantics and the packed-arg codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import (
+    CAUSE_DIR_EVICT,
+    CAUSE_LLC_EVICT,
+    CAUSE_WRITE,
+    EV_DIR_EVICT,
+    EV_DISCOVERY,
+    EV_GRANT,
+    EV_INVAL,
+    EV_LLC_EVICT,
+    EV_MISS,
+    EV_STASH_SPILL,
+    EV_UPGRADE,
+    EVENT_NAMES,
+    EventRing,
+    decode_args,
+)
+
+
+def _event(index: int) -> tuple:
+    return (float(index), EV_MISS, index % 4, 0x100 + index, 0, 0)
+
+
+class TestEventRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventRing(0)
+
+    def test_append_and_order(self):
+        ring = EventRing(8)
+        for i in range(5):
+            ring.append(_event(i))
+        assert len(ring) == 5
+        assert ring.total == 5
+        assert ring.dropped == 0
+        assert [event[0] for event in ring.events()] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_overflow_drops_oldest_and_counts(self):
+        ring = EventRing(4)
+        for i in range(10):
+            ring.append(_event(i))
+        assert ring.total == 10
+        assert len(ring) == 4
+        assert ring.dropped == 6
+        # Oldest-first order over the survivors: the newest 4 events.
+        assert [event[0] for event in ring.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_exactly_full_drops_nothing(self):
+        ring = EventRing(3)
+        for i in range(3):
+            ring.append(_event(i))
+        assert ring.dropped == 0
+        assert [event[0] for event in ring.events()] == [0.0, 1.0, 2.0]
+
+    def test_iter_matches_events(self):
+        ring = EventRing(4)
+        for i in range(6):
+            ring.append(_event(i))
+        assert list(ring) == ring.events()
+
+    def test_counts_by_kind(self):
+        ring = EventRing(16)
+        ring.append((0.0, EV_MISS, 0, 1, 0, 0))
+        ring.append((1.0, EV_MISS, 1, 2, 0, 1))
+        ring.append((2.0, EV_GRANT, 0, 1, 9, 0))
+        counts = ring.counts_by_kind()
+        assert counts == {"miss": 2, "grant": 1}
+
+    def test_clear(self):
+        ring = EventRing(2)
+        for i in range(5):
+            ring.append(_event(i))
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.total == 0
+        assert ring.dropped == 0
+        assert ring.events() == []
+
+
+class TestDecodeArgs:
+    def test_every_kind_has_a_name(self):
+        kinds = [EV_MISS, EV_GRANT, EV_UPGRADE, EV_DIR_EVICT, EV_STASH_SPILL,
+                 EV_DISCOVERY, EV_INVAL, EV_LLC_EVICT]
+        assert sorted(EVENT_NAMES) == sorted(kinds)
+
+    def test_miss_flags(self):
+        assert decode_args(EV_MISS, 0) == {"write": False, "coverage": False}
+        assert decode_args(EV_MISS, 3) == {"write": True, "coverage": True}
+
+    def test_grant_state(self):
+        # write=1, state=M(3): 1 | (3 << 1) = 7
+        assert decode_args(EV_GRANT, 7) == {"write": True, "state": "M"}
+        # read grant in E(2): 2 << 1 = 4
+        assert decode_args(EV_GRANT, 4) == {"write": False, "state": "E"}
+
+    def test_dir_evict_targets(self):
+        assert decode_args(EV_DIR_EVICT, 5) == {"targets": 5}
+
+    def test_discovery(self):
+        # found, write demand, fanout 15: 1 | (1 << 1) | (15 << 3)
+        args = decode_args(EV_DISCOVERY, 1 | (1 << 1) | (15 << 3))
+        assert args == {"found": True, "demand": "write", "fanout": 15}
+        args = decode_args(EV_DISCOVERY, (2 << 1) | (3 << 3))
+        assert args == {"found": False, "demand": "evict", "fanout": 3}
+
+    def test_inval_causes(self):
+        assert decode_args(EV_INVAL, CAUSE_WRITE | 4) == {
+            "cause": "write", "destroyed": True}
+        assert decode_args(EV_INVAL, CAUSE_DIR_EVICT) == {
+            "cause": "dir_eviction", "destroyed": False}
+        assert decode_args(EV_INVAL, CAUSE_LLC_EVICT | 4) == {
+            "cause": "llc_eviction", "destroyed": True}
+
+    def test_llc_evict_flags(self):
+        assert decode_args(EV_LLC_EVICT, 3) == {"dirty": True, "stash_bit": True}
+
+    def test_unknown_kind_is_raw(self):
+        assert decode_args(99, 42) == {"raw": 42}

@@ -1,0 +1,167 @@
+"""Exporters: epoch JSONL/CSV roundtrips and Chrome-trace structure."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.obs.epoch import EpochSampler
+from repro.obs.events import (
+    CAUSE_DIR_EVICT,
+    EV_DIR_EVICT,
+    EV_GRANT,
+    EV_INVAL,
+    EV_MISS,
+    EventRing,
+)
+from repro.obs.export import (
+    chrome_trace,
+    read_epochs_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_epochs_csv,
+    write_epochs_jsonl,
+)
+
+from .test_epoch import KEY, FakeSystem
+
+
+def _sampled(num_epochs: int = 3) -> EpochSampler:
+    system = FakeSystem()
+    sampler = EpochSampler(system, 64, keys=[KEY])
+    for index in range(num_epochs):
+        system.stats = {KEY: float(10 * (index + 1))}
+        system.llc.bits = index
+        sampler.sample(64 * (index + 1), 100.0 * (index + 1))
+    return sampler
+
+
+def _filled_ring() -> EventRing:
+    ring = EventRing(64)
+    ring.append((10.0, EV_MISS, 0, 0x40, 0, 1))
+    ring.append((10.0, EV_GRANT, 0, 0x40, 55, 1 | (3 << 1)))
+    ring.append((12.0, EV_INVAL, 2, 0x40, 0, CAUSE_DIR_EVICT | 4))
+    ring.append((12.0, EV_DIR_EVICT, -1, 0x80, 30, 2))
+    return ring
+
+
+class TestEpochsJsonl:
+    def test_roundtrip(self, tmp_path):
+        sampler = _sampled()
+        path = tmp_path / "run.epochs.jsonl"
+        write_epochs_jsonl(sampler, path, {"workload": "mix"})
+        meta, epochs = read_epochs_jsonl(path)
+        assert meta["format"] == "repro.obs.epochs"
+        assert meta["interval"] == 64
+        assert meta["epochs"] == 3
+        assert meta["workload"] == "mix"
+        assert epochs == sampler.epochs
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        path = tmp_path / "run.epochs.jsonl"
+        write_epochs_jsonl(_sampled(), path)
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 4  # meta + 3 epochs
+        for line in lines:
+            json.loads(line)
+
+
+class TestEpochsCsv:
+    def test_columns_and_rows(self, tmp_path):
+        sampler = _sampled()
+        path = tmp_path / "run.epochs.csv"
+        write_epochs_csv(sampler, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert header[:2] == ["op", "clock"]
+        assert f"d_{KEY}" in header
+        assert "g_stash_bits" in header
+        assert len(data) == 3
+        # First epoch: delta 10, stash bits 0.
+        first = dict(zip(header, data[0]))
+        assert float(first[f"d_{KEY}"]) == 10.0
+        assert float(first["g_stash_bits"]) == 0.0
+
+
+class TestChromeTrace:
+    def test_document_is_valid(self, tmp_path):
+        ring = _filled_ring()
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(ring, path, {"workload": "mix"})
+        with open(path) as handle:
+            document = json.load(handle)
+        assert validate_chrome_trace(document) == []
+        assert document["otherData"]["workload"] == "mix"
+        assert document["otherData"]["dropped_events"] == 0
+        assert document["otherData"]["events_emitted"] == 4
+
+    def test_span_vs_instant_phases(self):
+        document = chrome_trace(_filled_ring())
+        by_name = {}
+        for event in document["traceEvents"]:
+            if event.get("ph") != "M":
+                by_name.setdefault(event["name"], event)
+        assert by_name["grant"]["ph"] == "X"
+        assert by_name["grant"]["dur"] == 55
+        assert by_name["miss"]["ph"] == "i"
+        assert by_name["invalidation"]["args"]["cause"] == "dir_eviction"
+        assert by_name["invalidation"]["args"]["destroyed"] is True
+
+    def test_home_events_get_home_track(self):
+        document = chrome_trace(_filled_ring())
+        evict = next(
+            event for event in document["traceEvents"]
+            if event.get("name") == "dir_eviction"
+        )
+        assert evict["tid"] == 10_000
+        names = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event.get("ph") == "M"
+        }
+        assert "home" in names
+        assert "core 0" in names
+
+    def test_timestamps_sorted_even_if_ring_is_not(self):
+        ring = EventRing(8)
+        ring.append((20.0, EV_MISS, 0, 1, 0, 0))
+        ring.append((5.0, EV_MISS, 1, 2, 0, 0))
+        document = chrome_trace(ring)
+        assert validate_chrome_trace(document) == []
+
+    def test_zero_duration_spans_get_min_width(self):
+        ring = EventRing(4)
+        ring.append((1.0, EV_GRANT, 0, 1, 0, 0))
+        document = chrome_trace(ring)
+        span = next(e for e in document["traceEvents"] if e.get("ph") == "X")
+        assert span["dur"] == 1
+
+    def test_overflow_is_reported(self):
+        ring = EventRing(2)
+        for index in range(5):
+            ring.append((float(index), EV_MISS, 0, index, 0, 0))
+        document = chrome_trace(ring)
+        assert document["otherData"]["dropped_events"] == 3
+        assert document["otherData"]["events_retained"] == 2
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_rejects_missing_fields_and_regressions(self):
+        document = {
+            "traceEvents": [
+                {"name": "a", "ph": "i", "ts": 5, "pid": 1, "tid": 0, "s": "t"},
+                {"name": "b", "ph": "i", "ts": 2, "pid": 1, "tid": 0, "s": "t"},
+                {"ph": "X", "ts": 9, "pid": 1, "tid": 0},
+            ],
+            "otherData": {},
+        }
+        problems = validate_chrome_trace(document)
+        assert any("dropped_events" in problem for problem in problems)
+        assert any("timestamp" in problem for problem in problems)
+        assert any("missing 'dur'" in problem for problem in problems)
+        assert any("missing 'name'" in problem for problem in problems)

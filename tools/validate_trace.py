@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Validate repro.obs export files (CI smoke gate).
+
+Checks one or more exported files by extension:
+
+* ``*.trace.json`` — structural Chrome-trace validation via
+  :func:`repro.obs.validate_chrome_trace` (required fields, span
+  durations, non-decreasing timestamps, ``dropped_events`` accounting).
+* ``*.epochs.jsonl`` — the meta header parses and matches the
+  ``repro.obs.epochs`` format, every epoch record is valid JSON with
+  ``op``/``clock``/``d``/``g`` fields, and ``op`` is strictly increasing.
+
+Exit code 0 when every file passes; 1 with one line per problem
+otherwise.
+
+Usage::
+
+    python tools/validate_trace.py run.trace.json run.epochs.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import read_epochs_jsonl, validate_chrome_trace  # noqa: E402
+
+
+def check_trace(path: Path) -> List[str]:
+    """Problems in one Chrome-trace JSON file."""
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable trace: {exc}"]
+    problems = validate_chrome_trace(document)
+    raw_events = document.get("traceEvents")
+    if isinstance(raw_events, list):
+        events = [
+            event for event in raw_events
+            if isinstance(event, dict) and event.get("ph") != "M"
+        ]
+        if not events:
+            problems.append("trace contains no events")
+    return [f"{path}: {problem}" for problem in problems]
+
+
+def check_epochs(path: Path) -> List[str]:
+    """Problems in one epoch-series JSONL file."""
+    problems: List[str] = []
+    try:
+        meta, epochs = read_epochs_jsonl(path)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable epochs file: {exc}"]
+    if meta.get("format") != "repro.obs.epochs":
+        problems.append(f"unexpected meta format {meta.get('format')!r}")
+    if not epochs:
+        problems.append("no epoch records")
+    last_op = None
+    for index, epoch in enumerate(epochs):
+        for field in ("op", "clock", "d", "g"):
+            if field not in epoch:
+                problems.append(f"epoch {index} missing {field!r}")
+        op = epoch.get("op")
+        if isinstance(op, (int, float)):
+            if last_op is not None and op <= last_op:
+                problems.append(f"epoch {index} op {op} <= previous {last_op}")
+            last_op = op
+    declared = meta.get("epochs")
+    if isinstance(declared, int) and declared != len(epochs):
+        problems.append(f"meta declares {declared} epochs, file has {len(epochs)}")
+    return [f"{path}: {problem}" for problem in problems]
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    problems: List[str] = []
+    for name in argv:
+        path = Path(name)
+        if name.endswith(".epochs.jsonl"):
+            problems += check_epochs(path)
+        elif name.endswith(".json"):
+            problems += check_trace(path)
+        else:
+            problems.append(f"{path}: unrecognized export extension")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"validated {len(argv)} export file(s): OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
