@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench bench-scaling bench-hotpath obs-smoke examples docs clean
+.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath obs-smoke examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -21,11 +21,15 @@ quick-bench:
 		benchmarks/bench_table2_storage.py \
 		benchmarks/bench_fig1_characterization.py --benchmark-only
 
-# Sweep-engine scaling trajectory (writes BENCH_runner.json; see
+# Sweep-engine scaling trajectory: batched vs per-point dispatch at 1/2/4
+# workers plus the trace-generation share (writes BENCH_runner.json; see
 # docs/PERFORMANCE.md).  BENCH_WORKERS/BENCH_CACHE_DIR configure the rest
 # of the harness.
-bench-scaling:
+bench-runner:
 	$(PYTHON) -m pytest benchmarks/bench_runner_scaling.py --benchmark-only
+
+# Back-compat alias for bench-runner.
+bench-scaling: bench-runner
 
 # Hot-path throughput: accesses/sec per directory kind vs the frozen
 # pre-overhaul baseline (writes BENCH_hotpath.json; see

@@ -1,10 +1,13 @@
-"""Sweep-engine scaling: wall-time of one cold sweep at 1, 2 and 4 workers.
+"""Sweep-engine scaling: batched vs per-point dispatch at 1, 2 and 4 workers.
 
 Runs the same provisioning sweep (a subset of the F3 point set) through
-:func:`repro.analysis.runner.run_points` with the caches cold at every
-worker count, checks that parallel execution reproduces the serial results
-exactly, and writes the timing trajectory to ``BENCH_runner.json`` at the
-repository root so speedups are trackable across commits.
+:func:`repro.analysis.runner.run_points` with every cache layer cold, at
+each worker count twice — once with trace-key-grouped *batched* dispatch
+(the default) and once with ``batch_size=1`` (the old per-point dispatch)
+— checks that every variant reproduces the serial results exactly, and
+writes the timing trajectory plus the measured trace-generation share to
+``BENCH_runner.json`` at the repository root so speedups are trackable
+across commits.
 
 Speedup expectations scale with the host: on a single-CPU machine the
 parallel runs mostly measure process-pool overhead, so the benchmark
@@ -21,6 +24,7 @@ from pathlib import Path
 from repro.analysis import runner
 from repro.analysis.experiments import make_config
 from repro.common.config import DirectoryKind
+from repro.workloads import store as trace_store
 
 from benchmarks.conftest import once
 
@@ -28,7 +32,7 @@ from benchmarks.conftest import once
 WORKER_COUNTS = [1, 2, 4]
 
 #: A small but representative cold sweep: 2 organizations x 3 ratios x
-#: 2 workloads = 12 independent points.
+#: 2 workloads = 12 independent points sharing 2 distinct traces.
 SCALING_OPS = 600
 SCALING_POINTS = [
     runner.SweepPoint(workload, make_config(kind, ratio), SCALING_OPS, 1)
@@ -40,25 +44,58 @@ SCALING_POINTS = [
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_runner.json"
 
 
-def _cold_sweep(workers: int):
-    """One cold (memo cleared, disk cache off) run of the scaling sweep."""
+def _cold_sweep(workers: int, batch_size: int = 0):
+    """One fully cold run: result memo, trace memo and both disk layers off."""
     runner.clear_memo()
+    trace_store.clear_memo()
     start = time.perf_counter()
-    results = runner.run_points(SCALING_POINTS, workers=workers, cache_enabled=False)
+    results = runner.run_points(
+        SCALING_POINTS,
+        workers=workers,
+        cache_enabled=False,
+        trace_cache_enabled=False,
+        batch_size=batch_size,
+    )
     return time.perf_counter() - start, results
+
+
+def _trace_share():
+    """Fraction of a serial cold sweep spent generating workload traces."""
+    runner.clear_memo()
+    trace_store.clear_memo()
+    trace_store.counters.reset()
+    start = time.perf_counter()
+    runner.run_points(
+        SCALING_POINTS, workers=1, cache_enabled=False, trace_cache_enabled=False
+    )
+    total = time.perf_counter() - start
+    share = trace_store.counters.gen_seconds / total if total else 0.0
+    return {
+        "distinct_traces": trace_store.counters.generated,
+        "gen_seconds": round(trace_store.counters.gen_seconds, 4),
+        "sweep_seconds": round(total, 4),
+        "share": round(share, 4),
+    }
 
 
 def test_runner_scaling(benchmark):
     trajectory = []
     reference = None
     for workers in WORKER_COUNTS:
-        seconds, results = _cold_sweep(workers)
+        batched_seconds, results = _cold_sweep(workers)
         if reference is None:
             reference = results
         else:
-            # Parallel fan-out must reproduce the serial run exactly.
+            # Parallel batched fan-out must reproduce the serial run exactly.
             assert results == reference, f"workers={workers} diverged from serial"
-        trajectory.append({"workers": workers, "seconds": round(seconds, 4)})
+        entry = {"workers": workers, "seconds": round(batched_seconds, 4)}
+        if workers > 1:
+            unbatched_seconds, unbatched = _cold_sweep(workers, batch_size=1)
+            assert unbatched == reference, (
+                f"workers={workers} per-point dispatch diverged from serial"
+            )
+            entry["unbatched_seconds"] = round(unbatched_seconds, 4)
+        trajectory.append(entry)
 
     serial = trajectory[0]["seconds"]
     payload = {
@@ -66,10 +103,16 @@ def test_runner_scaling(benchmark):
         "points": len(SCALING_POINTS),
         "ops_per_core": SCALING_OPS,
         "cpu_count": os.cpu_count(),
+        "trace_generation": _trace_share(),
         "trajectory": trajectory,
         "speedup_vs_serial": {
             str(t["workers"]): round(serial / t["seconds"], 3) if t["seconds"] else None
             for t in trajectory
+        },
+        "batched_vs_unbatched": {
+            str(t["workers"]): round(t["unbatched_seconds"] / t["seconds"], 3)
+            for t in trajectory
+            if "unbatched_seconds" in t and t["seconds"]
         },
     }
     OUTPUT.write_text(json.dumps(payload, indent=1) + "\n")
@@ -82,14 +125,27 @@ def test_runner_scaling(benchmark):
         report_payload = json.load(handle)
     assert report_payload["trajectory"] == trajectory
     # Sanity bound rather than a host-dependent speedup assertion: with
-    # multiple CPUs the parallel runs should win; on one CPU the pool
-    # overhead must still stay within a small constant factor.
+    # multiple CPUs the batched parallel runs should beat serial; on one
+    # CPU the pool overhead must still stay within a small constant factor.
+    workers_2 = trajectory[1]["seconds"]
     workers_4 = trajectory[-1]["seconds"]
     cpus = os.cpu_count() or 1
     if cpus >= 4:
         assert workers_4 < serial
+    if cpus >= 2:
+        assert workers_2 < serial
     else:
         assert workers_4 < serial * 5
+
+
+def test_sweep_shares_traces(tmp_path):
+    """A cold sweep generates each distinct workload trace exactly once."""
+    runner.clear_memo()
+    trace_store.clear_memo()
+    trace_store.counters.reset()
+    runner.run_points(SCALING_POINTS, workers=1, cache_dir=tmp_path)
+    distinct = len({p.trace_memo_key for p in SCALING_POINTS})
+    assert trace_store.counters.generated == distinct
 
 
 def test_warm_cache_is_near_instant(tmp_path):

@@ -11,6 +11,18 @@ Python simulations.  This module is the one place that executes them:
   determined by its :class:`SweepPoint`.  ``workers=1`` (the default), a
   single pending point, or any pool failure (e.g. an unpicklable config)
   falls back to the plain serial loop.
+* **Batched dispatch** — pending points are grouped by *trace key* (the
+  workload-generation parameterization) and shipped to workers in batches,
+  so each worker derives or loads its input trace once per batch and pays
+  process/IPC overhead once per batch instead of once per point.  The
+  default batch size splits the pending set evenly across workers
+  (``batch_size`` overrides it; ``1`` reproduces per-point dispatch).
+* **Shared traces** — workload traces are materialized exactly once per
+  distinct key through :mod:`repro.workloads.store`: an in-process memo of
+  :class:`~repro.sim.trace.PackedTrace` streams plus a corruption-safe
+  binary spool under ``<cache-dir>/traces/``.  The parent pre-materializes
+  every distinct trace before dispatch, so a kinds x ratios sweep
+  generates each workload once, not ``len(kinds) * len(ratios)`` times.
 * **Persistent cache** — results are cached on disk as JSON under
   ``.repro_cache/`` (override with ``REPRO_CACHE_DIR`` / ``configure``),
   keyed by a stable SHA-256 of the full :class:`~repro.common.config.
@@ -27,18 +39,22 @@ Python simulations.  This module is the one place that executes them:
 
 Environment knobs (read once at import, overridable via :func:`configure`
 or per-call arguments): ``REPRO_WORKERS`` (worker processes, default 1),
-``REPRO_CACHE_DIR`` (cache root, default ``.repro_cache``) and
-``REPRO_NO_CACHE`` (any non-empty value disables the disk layer).
+``REPRO_CACHE_DIR`` (cache root, default ``.repro_cache``),
+``REPRO_NO_CACHE`` (any non-empty value disables the result disk layer),
+``REPRO_NO_TRACE_CACHE`` (disables the trace spool) and
+``REPRO_BATCH_SIZE`` (points per worker dispatch, 0 = auto).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -47,8 +63,11 @@ from ..obs import ObsConfig, attach
 from ..sim.results import SimulationResult
 from ..sim.simulator import run_trace
 from ..sim.system import build_system
-from ..workloads.suite import build_workload
+from ..workloads import store as trace_store
 from .io import FORMAT_VERSION, config_to_dict, result_from_dict, result_to_dict
+
+# Re-exported for callers that think in runner terms (CLI, benchmarks).
+trace_counters = trace_store.counters
 
 #: Layout version of the on-disk cache wrapper; bump on wrapper changes.
 CACHE_SCHEMA_VERSION = 1
@@ -83,6 +102,21 @@ class SweepPoint:
     def memo_key(self) -> tuple:
         """Hashable in-memory memo key (the full parameterization)."""
         return (self.workload, self.ops_per_core, self.seed, self.config)
+
+    @property
+    def trace_memo_key(self) -> tuple:
+        """The workload-generation key this point's input trace shares.
+
+        Points that differ only in directory/NoC/protocol configuration
+        replay the identical trace; the batched scheduler groups on this.
+        """
+        return trace_store.memo_key(
+            self.workload,
+            self.config.num_cores,
+            self.ops_per_core,
+            self.seed,
+            self.config.block_bytes,
+        )
 
     @property
     def observed(self) -> bool:
@@ -201,7 +235,10 @@ class RunnerCounters:
 
     ``point_seconds`` holds the per-point compute wall-times of the most
     recent :func:`run_points` batch (cache hits contribute nothing — they
-    are the point).
+    are the point).  ``trace_seconds`` is the share of compute time spent
+    acquiring input traces (store lookups + any generation inside
+    workers); ``dispatches`` counts worker batches shipped through the
+    pool across all parallel runs.
     """
 
     memo_hits: int = 0
@@ -211,7 +248,9 @@ class RunnerCounters:
     corrupt_entries: int = 0
     parallel_fallbacks: int = 0
     parallel_batches: int = 0
+    dispatches: int = 0
     compute_seconds: float = 0.0
+    trace_seconds: float = 0.0
     batch_seconds: float = 0.0
     point_seconds: List[float] = field(default_factory=list)
 
@@ -242,6 +281,8 @@ _DEFAULTS = {
     "workers": max(1, int(os.environ.get("REPRO_WORKERS", "1") or "1")),
     "cache_dir": os.environ.get("REPRO_CACHE_DIR") or ".repro_cache",
     "cache_enabled": not os.environ.get("REPRO_NO_CACHE"),
+    "trace_cache_enabled": not os.environ.get("REPRO_NO_TRACE_CACHE"),
+    "batch_size": max(0, int(os.environ.get("REPRO_BATCH_SIZE", "0") or "0")),
 }
 
 
@@ -249,10 +290,14 @@ def configure(
     workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     cache_enabled: Optional[bool] = None,
+    trace_cache_enabled: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """Set process-wide runner defaults; None leaves a field unchanged.
 
     Returns the resolved defaults (also the way to inspect them).
+    ``batch_size=0`` means auto (split the pending set evenly across
+    workers); the trace spool lives under ``<cache_dir>/traces/``.
     """
     if workers is not None:
         _DEFAULTS["workers"] = max(1, int(workers))
@@ -260,6 +305,10 @@ def configure(
         _DEFAULTS["cache_dir"] = str(cache_dir)
     if cache_enabled is not None:
         _DEFAULTS["cache_enabled"] = bool(cache_enabled)
+    if trace_cache_enabled is not None:
+        _DEFAULTS["trace_cache_enabled"] = bool(trace_cache_enabled)
+    if batch_size is not None:
+        _DEFAULTS["batch_size"] = max(0, int(batch_size))
     return dict(_DEFAULTS)
 
 
@@ -268,8 +317,19 @@ def default_cache() -> DiskCache:
     return DiskCache(_DEFAULTS["cache_dir"])
 
 
+def trace_spool_root(cache_dir: Optional[Union[str, Path]] = None) -> Path:
+    """The trace-spool directory under a cache root (default: configured)."""
+    root = Path(cache_dir) if cache_dir is not None else Path(_DEFAULTS["cache_dir"])
+    return root / "traces"
+
+
+def default_trace_store() -> trace_store.TraceStore:
+    """A TraceStore spooling under the configured cache directory."""
+    return trace_store.TraceStore(trace_spool_root())
+
+
 def clear_memo() -> None:
-    """Drop the in-memory memo only."""
+    """Drop the in-memory result memo only."""
     _MEMO.clear()
 
 
@@ -278,29 +338,45 @@ def clear_disk_cache() -> int:
     return default_cache().clear()
 
 
+def clear_trace_cache() -> int:
+    """Drop the trace memo and the configured spool; returns files removed."""
+    trace_store.clear_memo()
+    return default_trace_store().clear()
+
+
 def clear_all() -> None:
-    """Drop both cache layers (test isolation)."""
+    """Drop every cache layer — result memo+disk and trace memo+spool."""
     clear_memo()
     clear_disk_cache()
+    clear_trace_cache()
 
 
 # ------------------------------------------------------------------ execution
 
-def _compute_point(point: SweepPoint) -> Tuple[SimulationResult, float]:
-    """Build the trace and run one sweep point; returns (result, seconds).
+def _compute_point(
+    point: SweepPoint,
+    spool_dir: Optional[str] = None,
+    spool_enabled: bool = True,
+) -> Tuple[SimulationResult, float, float]:
+    """Run one sweep point; returns (result, seconds, trace_seconds).
 
-    Top-level so :class:`ProcessPoolExecutor` can pickle it; the trace is
-    generated inside the worker (cheap and deterministic) so only the
-    small :class:`SweepPoint` crosses the process boundary.
+    The input trace comes from the shared trace store (memo -> spool ->
+    generate) in packed form, so repeated points over one workload never
+    regenerate it; ``trace_seconds`` is the acquisition share of the
+    point's wall time.  Top-level so :class:`ProcessPoolExecutor` can
+    pickle it.
     """
     start = time.perf_counter()
-    trace = build_workload(
+    trace = trace_store.get_packed_trace(
         point.workload,
         point.config.num_cores,
         point.ops_per_core,
         seed=point.seed,
         block_bytes=point.config.block_bytes,
+        root=spool_dir,
+        disk_enabled=spool_enabled,
     )
+    trace_seconds = time.perf_counter() - start
     if point.observed:
         system = build_system(point.config)
         observer = attach(system, point.obs)
@@ -311,7 +387,23 @@ def _compute_point(point: SweepPoint) -> Tuple[SimulationResult, float]:
         )
     else:
         result = run_trace(point.config, trace)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, trace_seconds
+
+
+def _run_batch(
+    batch: Sequence[SweepPoint],
+    spool_dir: Optional[str] = None,
+    spool_enabled: bool = True,
+) -> List[Tuple[SimulationResult, float, float]]:
+    """Worker entry point: compute one batch of points in order.
+
+    A batch is the unit of pool dispatch — the worker pays pickling/IPC
+    once for the whole list, and the trace store's in-process memo
+    guarantees each distinct trace key inside the batch is derived once
+    (with a forking pool it is usually already memoized by the parent's
+    pre-materialization pass).
+    """
+    return [_compute_point(point, spool_dir, spool_enabled) for point in batch]
 
 
 def _effective_workers(requested: Optional[int]) -> int:
@@ -329,9 +421,47 @@ def _effective_workers(requested: Optional[int]) -> int:
     return max(1, min(configured, os.cpu_count() or 1))
 
 
+def _plan_batches(
+    points: Sequence[SweepPoint], workers: int, batch_size: int
+) -> List[List[int]]:
+    """Partition point indices into dispatch batches, grouped by trace key.
+
+    Points sharing a trace key are laid out adjacently (first-occurrence
+    order, so the plan is deterministic), then cut into batches of
+    ``batch_size``; ``batch_size <= 0`` picks the even split
+    ``ceil(len(points) / workers)`` — one dispatch per worker for uniform
+    sweeps, which is where per-point IPC overhead goes to die.
+    """
+    groups: Dict[tuple, List[int]] = {}
+    order: List[tuple] = []
+    for index, point in enumerate(points):
+        key = point.trace_memo_key
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(index)
+    if batch_size <= 0:
+        batch_size = max(1, math.ceil(len(points) / workers))
+    batches: List[List[int]] = []
+    current: List[int] = []
+    for key in order:
+        for index in groups[key]:
+            current.append(index)
+            if len(current) >= batch_size:
+                batches.append(current)
+                current = []
+    if current:
+        batches.append(current)
+    return batches
+
+
 def _compute_batch(
-    points: Sequence[SweepPoint], workers: int
-) -> List[Tuple[SimulationResult, float]]:
+    points: Sequence[SweepPoint],
+    workers: int,
+    spool_dir: Optional[str],
+    spool_enabled: bool,
+    batch_size: int,
+) -> List[Tuple[SimulationResult, float, float]]:
     """Compute every point, fanning out across processes when asked.
 
     Output order matches input order regardless of worker scheduling.  Any
@@ -340,15 +470,25 @@ def _compute_batch(
     """
     if workers <= 1 or len(points) <= 1:
         # Explicit serial path: one worker never pays for an executor.
-        return [_compute_point(point) for point in points]
+        return [_compute_point(point, spool_dir, spool_enabled) for point in points]
+    plan = _plan_batches(points, workers, batch_size)
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(points))) as pool:
-            computed = list(pool.map(_compute_point, points))
+        run = partial(_run_batch, spool_dir=spool_dir, spool_enabled=spool_enabled)
+        with ProcessPoolExecutor(max_workers=min(workers, len(plan))) as pool:
+            batched = list(
+                pool.map(run, [[points[i] for i in batch] for batch in plan])
+            )
         counters.parallel_batches += 1
-        return computed
+        counters.dispatches += len(plan)
+        computed: List[Optional[Tuple[SimulationResult, float, float]]]
+        computed = [None] * len(points)
+        for batch, outputs in zip(plan, batched):
+            for index, output in zip(batch, outputs):
+                computed[index] = output
+        return computed  # type: ignore[return-value]
     except Exception:
         counters.parallel_fallbacks += 1
-    return [_compute_point(point) for point in points]
+    return [_compute_point(point, spool_dir, spool_enabled) for point in points]
 
 
 def run_points(
@@ -356,16 +496,30 @@ def run_points(
     workers: Optional[int] = None,
     cache_dir: Optional[Union[str, Path]] = None,
     cache_enabled: Optional[bool] = None,
+    trace_cache_enabled: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> List[SimulationResult]:
     """Execute sweep points through memo -> disk cache -> (parallel) compute.
 
     Results are returned in input order; duplicate points are simulated
-    once.  Per-call arguments override the configured defaults (None means
-    "use the default").
+    once.  Pending points are dispatched to workers in trace-key-grouped
+    batches, and every distinct input trace is materialized exactly once
+    in this process (memo + spool) before any dispatch.  Per-call
+    arguments override the configured defaults (None means "use the
+    default").
     """
     workers = _effective_workers(workers)
     use_disk = _DEFAULTS["cache_enabled"] if cache_enabled is None else bool(cache_enabled)
+    use_spool = (
+        _DEFAULTS["trace_cache_enabled"]
+        if trace_cache_enabled is None
+        else bool(trace_cache_enabled)
+    )
+    batch_size = (
+        int(_DEFAULTS["batch_size"]) if batch_size is None else max(0, int(batch_size))
+    )
     disk = DiskCache(cache_dir) if cache_dir is not None else default_cache()
+    spool_dir = str(trace_spool_root(cache_dir))
 
     batch_start = time.perf_counter()
     results: List[Optional[SimulationResult]] = [None] * len(points)
@@ -403,13 +557,26 @@ def run_points(
 
     if pending:
         todo = [entry[0] for entry in pending.values()]
-        computed = _compute_batch(todo, workers)
-        counters.point_seconds = [seconds for _, seconds in computed]
-        for (point, indices, disk_key), (result, seconds) in zip(
+        # Materialize every distinct input trace once, up front: later
+        # worker batches find it in the spool (or, with a forking pool,
+        # already in the inherited memo), so a kinds x ratios sweep
+        # performs exactly one generation per workload.
+        seen_traces = set()
+        for point in todo:
+            trace_key = point.trace_memo_key
+            if trace_key not in seen_traces:
+                seen_traces.add(trace_key)
+                trace_store.get_packed_trace(
+                    *trace_key, root=spool_dir, disk_enabled=use_spool
+                )
+        computed = _compute_batch(todo, workers, spool_dir, use_spool, batch_size)
+        counters.point_seconds = [seconds for _, seconds, _ in computed]
+        for (point, indices, disk_key), (result, seconds, trace_seconds) in zip(
             pending.values(), computed
         ):
             counters.computed += 1
             counters.compute_seconds += seconds
+            counters.trace_seconds += trace_seconds
             if not point.observed:
                 _MEMO[point.memo_key] = result
                 if use_disk:
@@ -431,8 +598,10 @@ def simulate_point(
 
 
 def counters_summary() -> str:
-    """One-paragraph human-readable counter report."""
+    """One-paragraph human-readable counter report (results + traces)."""
     c = counters
+    t = trace_store.counters
+    spool = default_trace_store().stats()
     lines = [
         "sweep runner counters:",
         f"  lookups        {c.lookups}  (memo {c.memo_hits}, disk {c.disk_hits}, "
@@ -446,7 +615,13 @@ def counters_summary() -> str:
             else ""
         ),
         f"  batch time     {c.batch_seconds:.2f}s  "
-        f"(parallel batches {c.parallel_batches}, fallbacks {c.parallel_fallbacks})",
+        f"(parallel batches {c.parallel_batches}, dispatches {c.dispatches}, "
+        f"fallbacks {c.parallel_fallbacks})",
         f"  disk           writes {c.disk_writes}, corrupt dropped {c.corrupt_entries}",
+        f"  traces         {t.lookups} lookups (memo {t.memo_hits}, "
+        f"spool {t.disk_hits}, generated {t.generated} in {t.gen_seconds:.2f}s); "
+        f"acquisition {c.trace_seconds:.2f}s of compute",
+        f"  trace spool    {spool['files']} files, {spool['bytes']} bytes "
+        f"(writes {t.disk_writes}, corrupt dropped {t.corrupt_entries})",
     ]
     return "\n".join(lines)

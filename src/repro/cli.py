@@ -29,10 +29,12 @@ Every command prints plain text (the same tables the benchmark harness
 emits) and returns a non-zero exit code on error.
 
 Global sweep-engine flags (give them *before* the subcommand):
-``--workers N`` fans independent sweep points across N worker processes,
-``--cache-dir PATH`` / ``--no-cache`` control the persistent result cache,
-and ``--cache-stats`` prints hit-rate/wall-time counters to stderr (see
-docs/PERFORMANCE.md).
+``--workers N`` fans independent sweep points across N worker processes
+in trace-key-grouped batches (``--batch-size N`` overrides the per-
+dispatch size), ``--cache-dir PATH`` / ``--no-cache`` control the
+persistent result cache, ``--trace-cache/--no-trace-cache`` the shared
+trace spool, and ``--cache-stats`` prints hit-rate/wall-time counters to
+stderr (see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -387,8 +389,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the persistent result cache for this invocation",
     )
     parser.add_argument(
+        "--trace-cache", action=argparse.BooleanOptionalAction, default=None,
+        help="enable/disable the shared trace spool under <cache-dir>/traces "
+             "(default: on, or REPRO_NO_TRACE_CACHE)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="sweep points per worker dispatch (default: auto — split the "
+             "pending set evenly across workers; 1 = per-point dispatch)",
+    )
+    parser.add_argument(
         "--cache-stats", action="store_true",
-        help="print sweep-runner hit-rate/wall-time counters to stderr on exit",
+        help="print sweep-runner hit-rate/wall-time counters (results, "
+             "traces, spool) to stderr on exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -512,6 +525,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         cache_enabled=False if args.no_cache else None,
+        trace_cache_enabled=args.trace_cache,
+        batch_size=args.batch_size,
     )
     try:
         return args.func(args)

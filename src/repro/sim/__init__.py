@@ -3,9 +3,10 @@
 from .results import SimulationResult
 from .simulator import Simulator, run_trace
 from .system import build_system
-from .trace import Trace, TraceRecord
+from .trace import PackedTrace, Trace, TraceRecord
 
 __all__ = [
+    "PackedTrace",
     "SimulationResult",
     "Simulator",
     "Trace",

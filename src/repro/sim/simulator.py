@@ -26,14 +26,14 @@ even when the config flag is off.  With no observer every probe stays a
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from ..coherence.protocol import CoherentSystem
 from ..common.addr import log2_exact
 from ..common.errors import TraceError
 from .results import SimulationResult
 from .system import build_system
-from .trace import Trace
+from .trace import PackedTrace, Trace
 
 
 class Simulator:
@@ -59,8 +59,14 @@ class Simulator:
         self.warmup_ops = warmup_ops
         self.observer = observer
 
-    def run(self, trace: Trace) -> SimulationResult:
+    def run(self, trace: Union[Trace, PackedTrace]) -> SimulationResult:
         """Execute the whole trace; returns the result snapshot.
+
+        Accepts either representation: a :class:`Trace` (per-core tuple
+        lists) or a :class:`PackedTrace` (per-core ``array('Q')`` streams,
+        decoded inline: ``block = word >> (block_shift + 1)``, ``is_write
+        = word & 1``).  Results are bit-identical across the two — the
+        decode recovers exactly the packed ``(addr, is_write)`` pair.
 
         The interleave is identical to a pure pop/push min-heap loop (ties
         broken by core index), but the hot path avoids heap churn: after a
@@ -78,9 +84,15 @@ class Simulator:
         fixed = config.timing.core_fixed_cpi
         check = config.check_invariants
 
+        # One iteration discipline for both trace forms: ``streams[core]``
+        # yields raw u64 words (packed) or ``(addr, is_write)`` tuples.
+        is_packed = isinstance(trace, PackedTrace)
+        streams = trace.streams if is_packed else trace.ops
+        packshift = shift + 1  # block = word >> (shift + write bit)
+
         clocks = [0.0] * trace.num_cores
         cursors = [0] * trace.num_cores
-        active = [core for core in range(trace.num_cores) if trace.ops[core]]
+        active = [core for core in range(trace.num_cores) if streams[core]]
 
         samples: List[int] = []
         processed = 0
@@ -128,15 +140,21 @@ class Simulator:
             core = active[0]
             core_access = l1_access[core] if fast else None
             clock = 0.0
-            for addr, is_write in trace.ops[core]:
+            for op in streams[core]:
+                if is_packed:
+                    block = op >> packshift
+                    is_write = op & 1
+                else:
+                    addr, is_write = op
+                    block = addr >> shift
                 if fast:
                     home.now = clock
-                    latency = core_access(addr >> shift, is_write)
+                    latency = core_access(block, is_write)
                     if lat_cell is None:
                         lat_cell = system.latency_cell()
                     lat_cell.value += latency
                 else:
-                    latency = access(core, addr >> shift, is_write, clock)
+                    latency = access(core, block, is_write, clock)
                 clock += latency + fixed
                 processed += 1
                 if processed == warmup_ops:
@@ -153,7 +171,7 @@ class Simulator:
                     next_epoch += epoch_interval
                     sample_epoch(processed, clock)
             clocks[core] = clock
-            cursors[core] = len(trace.ops[core])
+            cursors[core] = len(streams[core])
         else:
             # Min-heap of (clock, core) for the timestamp-ordered interleave.
             heap = [(0.0, core) for core in active]
@@ -162,21 +180,27 @@ class Simulator:
             heappop = heapq.heappop
             while heap:
                 clock, core = heappop(heap)
-                ops = trace.ops[core]
+                ops = streams[core]
                 cursor = cursors[core]
                 remaining = len(ops)
                 core_access = l1_access[core] if fast else None
                 while True:
-                    addr, is_write = ops[cursor]
+                    op = ops[cursor]
                     cursor += 1
+                    if is_packed:
+                        block = op >> packshift
+                        is_write = op & 1
+                    else:
+                        addr, is_write = op
+                        block = addr >> shift
                     if fast:
                         home.now = clock
-                        latency = core_access(addr >> shift, is_write)
+                        latency = core_access(block, is_write)
                         if lat_cell is None:
                             lat_cell = system.latency_cell()
                         lat_cell.value += latency
                     else:
-                        latency = access(core, addr >> shift, is_write, clock)
+                        latency = access(core, block, is_write, clock)
                     clock += latency + fixed
                     processed += 1
                     if processed == warmup_ops:
@@ -223,13 +247,14 @@ class Simulator:
 
 def run_trace(
     config,
-    trace: Trace,
+    trace: Union[Trace, PackedTrace],
     system: Optional[CoherentSystem] = None,
     observer=None,
 ) -> SimulationResult:
     """Convenience one-shot: build the system (unless given) and run.
 
-    This is the function the examples, experiments and most tests call.
+    This is the function the examples, experiments and most tests call;
+    ``trace`` may be packed or unpacked (results are identical).
     ``observer`` is a pre-attached :class:`repro.obs.Observer` (it must wrap
     the same ``system`` when one is passed).
     """

@@ -5,10 +5,26 @@ Traces come from the synthetic workload generators
 (:mod:`repro.workloads`) or from files; the on-disk format is a plain CSV
 of ``core,addr,rw`` lines (``rw`` is ``R`` or ``W``, ``addr`` hex or
 decimal) so traces from external tools can be replayed too.
+
+Two in-memory representations exist:
+
+* :class:`Trace` — per-core lists of ``(addr, is_write)`` tuples; the
+  construction-friendly format every generator builds.
+* :class:`PackedTrace` — per-core flat ``array('Q')`` streams encoding
+  ``(addr << 1) | is_write``; ~5x smaller, picklable as one buffer per
+  core, and what the simulator loop iterates with inline decode.  The
+  sweep engine's trace store (:mod:`repro.workloads.store`) materializes
+  workloads in this form exactly once per (workload, size, seed).
+
+Conversion between the two is lossless (``PackedTrace.from_trace`` /
+``to_trace``); packing rejects addresses that do not fit the 63 usable
+bits of the encoding (:data:`MAX_PACKED_ADDR`).
 """
 
 from __future__ import annotations
 
+import sys
+from array import array
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, List, Tuple, Union
@@ -17,6 +33,10 @@ from ..common.errors import TraceError
 
 #: One operation: (byte_address, is_write).
 Op = Tuple[int, bool]
+
+#: Largest byte address a packed stream can encode: the write bit takes
+#: the low bit of an unsigned 64-bit word, leaving 63 bits of address.
+MAX_PACKED_ADDR = (1 << 63) - 1
 
 
 @dataclass(frozen=True)
@@ -126,3 +146,129 @@ class Trace:
         for core, ops in enumerate(self.ops):
             for addr, is_write in ops:
                 yield TraceRecord(core, addr, is_write)
+
+    def pack(self) -> "PackedTrace":
+        """This trace in packed form (see :class:`PackedTrace`)."""
+        return PackedTrace.from_trace(self)
+
+
+class PackedTrace:
+    """Per-core flat ``array('Q')`` streams of ``(addr << 1) | is_write``.
+
+    The packed form is the simulator's native input: one unsigned 64-bit
+    word per operation, decoded inline in the run loop (``block =
+    word >> (block_shift + 1)``, ``is_write = word & 1``).  Compared to
+    the tuple lists of :class:`Trace` it is ~5x smaller, hashable content
+    (``streams[core].tobytes()``), and crosses process boundaries as flat
+    buffers — which is what makes the sweep engine's shared trace store
+    cheap.  Conversion to/from :class:`Trace` is lossless for any address
+    up to :data:`MAX_PACKED_ADDR`; larger addresses raise
+    :class:`~repro.common.errors.TraceError` (keep those in tuple form).
+    """
+
+    __slots__ = ("num_cores", "streams")
+
+    def __init__(self, num_cores: int, streams: "List[array]" = None) -> None:
+        if num_cores < 1:
+            raise TraceError("trace needs at least one core")
+        if streams is None:
+            streams = [array("Q") for _ in range(num_cores)]
+        elif len(streams) != num_cores:
+            raise TraceError(
+                f"{len(streams)} streams for {num_cores} cores"
+            )
+        self.num_cores = num_cores
+        self.streams: List[array] = streams
+
+    # -- construction ------------------------------------------------------------
+
+    def append(self, core: int, addr: int, is_write: bool) -> None:
+        """Append one operation to a core's packed stream."""
+        if not 0 <= core < self.num_cores:
+            raise TraceError(f"core {core} outside [0, {self.num_cores})")
+        if not 0 <= addr <= MAX_PACKED_ADDR:
+            raise TraceError(
+                f"address {addr:#x} outside packable range [0, {MAX_PACKED_ADDR:#x}]"
+            )
+        self.streams[core].append((addr << 1) | (1 if is_write else 0))
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "PackedTrace":
+        """Pack an unpacked trace (lossless; validates the address range)."""
+        packed = cls(trace.num_cores)
+        for core, ops in enumerate(trace.ops):
+            stream = packed.streams[core]
+            try:
+                stream.extend(
+                    (addr << 1) | 1 if is_write else addr << 1
+                    for addr, is_write in ops
+                )
+            except OverflowError:
+                bad = max(addr for addr, _ in ops)
+                raise TraceError(
+                    f"core {core}: address {bad:#x} outside packable range "
+                    f"[0, {MAX_PACKED_ADDR:#x}]"
+                ) from None
+        return packed
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], num_cores: int) -> "PackedTrace":
+        """Load a ``core,addr,rw`` CSV trace directly into packed form."""
+        return cls.from_trace(Trace.from_file(path, num_cores))
+
+    def to_trace(self) -> Trace:
+        """Unpack back to per-core tuple lists (exact inverse of packing)."""
+        trace = Trace(self.num_cores)
+        for core, stream in enumerate(self.streams):
+            trace.ops[core] = [(word >> 1, bool(word & 1)) for word in stream]
+        return trace
+
+    # -- inspection ---------------------------------------------------------------
+
+    def total_ops(self) -> int:
+        """Operations across all cores."""
+        return sum(len(stream) for stream in self.streams)
+
+    def core_ops(self, core: int) -> int:
+        """Operations of one core."""
+        return len(self.streams[core])
+
+    def nbytes(self) -> int:
+        """Payload size across all cores (8 bytes per operation)."""
+        return 8 * self.total_ops()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedTrace):
+            return NotImplemented
+        return self.num_cores == other.num_cores and self.streams == other.streams
+
+    # -- serialization (the trace store's payload format) -------------------------
+
+    def stream_bytes(self) -> List[bytes]:
+        """Each core's stream as little-endian 8-byte words."""
+        out = []
+        for stream in self.streams:
+            if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+                stream = array("Q", stream)
+                stream.byteswap()
+            out.append(stream.tobytes())
+        return out
+
+    @classmethod
+    def from_stream_bytes(cls, blobs: Iterable[bytes]) -> "PackedTrace":
+        """Rebuild from :meth:`stream_bytes` payloads (one per core)."""
+        streams = []
+        for blob in blobs:
+            if len(blob) % 8:
+                raise TraceError(
+                    f"packed stream payload of {len(blob)} bytes is not a "
+                    "whole number of 8-byte words"
+                )
+            stream = array("Q")
+            stream.frombytes(blob)
+            if sys.byteorder == "big":  # pragma: no cover - exotic hosts
+                stream.byteswap()
+            streams.append(stream)
+        if not streams:
+            raise TraceError("packed trace needs at least one core stream")
+        return cls(len(streams), streams)

@@ -1,6 +1,9 @@
-"""Synthetic workload generation: primitives, patterns and the named suite."""
+"""Synthetic workload generation: primitives, patterns, the named suite,
+and the content-addressed trace store that materializes each workload
+exactly once per sweep (:mod:`repro.workloads.store`)."""
 
 from .characterize import TraceProfile, histogram_buckets, profile_trace
+from .store import TraceStore, get_packed_trace, trace_key
 from .patterns import (
     false_sharing,
     lock_contention,
@@ -35,12 +38,14 @@ __all__ = [
     "SUITE",
     "SUITE_ORDER",
     "TraceProfile",
+    "TraceStore",
     "UniformStream",
     "WorkloadSpec",
     "ZipfStream",
     "EXTRA_WORKLOADS",
     "build_workload",
     "false_sharing",
+    "get_packed_trace",
     "lock_contention",
     "histogram_buckets",
     "migratory",
@@ -50,6 +55,7 @@ __all__ = [
     "profile_trace",
     "shared_read_only",
     "streaming",
+    "trace_key",
     "uniform_mix",
     "workload_names",
 ]

@@ -3,7 +3,9 @@
 Covers the satellite requirements explicitly: cache-key stability within
 and across processes, key sensitivity to every parameter, corruption
 tolerance (truncated/garbage/mismatched files are recomputed, never
-crashed on), parallel/serial result identity, and two-layer clearing.
+crashed on), parallel/serial result identity (per-point and batched),
+trace-store sharing (one generation per distinct workload key) and
+three-layer clearing (result memo, result disk, trace memo+spool).
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from repro.analysis import experiments as exp
 from repro.analysis import runner
 from repro.analysis.experiments import make_config
 from repro.common.config import DirectoryKind
+from repro.workloads import store as trace_store
 from tests.conftest import tiny_config
 
 OPS = 200
@@ -34,14 +37,18 @@ def tiny_point(seed: int = 1, ops: int = OPS, workload: str = "blackscholes-like
 
 @pytest.fixture(autouse=True)
 def fresh_state(tmp_path):
-    """Cold memo, fresh counters, and restored runner defaults per test."""
+    """Cold memos, fresh counters, and restored runner defaults per test."""
     previous = runner.configure()
     runner.clear_memo()
     runner.counters.reset()
+    trace_store.clear_memo()
+    trace_store.counters.reset()
     yield
     runner.configure(**previous)
     runner.clear_memo()
     runner.counters.reset()
+    trace_store.clear_memo()
+    trace_store.counters.reset()
 
 
 class TestCacheKey:
@@ -205,6 +212,118 @@ class TestParallel:
         assert runner.counters.parallel_fallbacks == 1
 
 
+class TestBatchedScheduling:
+    def sweep_points(self):
+        """A 2-workload x 2-kind x 2-ratio sweep: 8 points, 2 trace keys."""
+        return [
+            tiny_point(workload=workload, kind=kind, ratio=ratio)
+            for workload in ("blackscholes-like", "mix")
+            for kind in (DirectoryKind.SPARSE, DirectoryKind.STASH)
+            for ratio in (1.0, 0.5)
+        ]
+
+    def test_plan_groups_by_trace_key_and_stays_deterministic(self):
+        points = self.sweep_points()
+        plan = runner._plan_batches(points, workers=2, batch_size=0)
+        assert sorted(i for batch in plan for i in batch) == list(range(len(points)))
+        assert plan == runner._plan_batches(points, workers=2, batch_size=0)
+        # Even split: 8 points over 2 workers -> 2 batches of 4, each a
+        # single trace key (points interleave workloads; the plan regroups).
+        assert [len(batch) for batch in plan] == [4, 4]
+        for batch in plan:
+            keys = {points[i].trace_memo_key for i in batch}
+            assert len(keys) == 1
+
+    def test_batch_size_one_is_per_point_dispatch(self):
+        points = self.sweep_points()
+        plan = runner._plan_batches(points, workers=2, batch_size=1)
+        assert [len(batch) for batch in plan] == [1] * len(points)
+
+    def test_batched_parallel_matches_serial(self):
+        points = self.sweep_points()
+        serial = runner.run_points(points, workers=1, cache_enabled=False)
+        runner.clear_memo()
+        batched = runner.run_points(
+            points, workers=2, cache_enabled=False, batch_size=3
+        )
+        assert batched == serial
+        assert runner.counters.parallel_batches == 1
+        assert runner.counters.dispatches == 3  # ceil(8 / 3) dispatch units
+
+    def test_sweep_generates_each_workload_exactly_once(self, tmp_path):
+        """kinds x ratios over N workloads -> exactly N trace generations."""
+        workloads = ["blackscholes-like", "swaptions-like", "bodytrack-like",
+                     "fluidanimate-like", "canneal-like", "mix"]
+        kinds = [DirectoryKind.SPARSE, DirectoryKind.CUCKOO, DirectoryKind.SCD,
+                 DirectoryKind.STASH, DirectoryKind.IDEAL]
+        ratios = [2.0, 1.0, 0.5, 0.25, 0.125, 0.0625]
+        points = [
+            tiny_point(workload=w, ops=40, kind=k, ratio=r)
+            for k in kinds for r in ratios for w in workloads
+        ]
+        assert len(points) == 5 * 6 * 6
+        runner.run_points(points, cache_dir=tmp_path, cache_enabled=False)
+        assert trace_store.counters.generated == len(workloads)
+        assert trace_store.counters.memo_hits >= len(points) - len(workloads)
+        # The spool holds exactly one file per workload.
+        spool = trace_store.TraceStore(runner.trace_spool_root(tmp_path))
+        assert spool.stats()["files"] == len(workloads)
+
+    def test_trace_cache_disabled_spools_nothing(self, tmp_path):
+        points = [tiny_point(), tiny_point(workload="mix")]
+        runner.run_points(
+            points, cache_dir=tmp_path, cache_enabled=False,
+            trace_cache_enabled=False,
+        )
+        assert not runner.trace_spool_root(tmp_path).exists()
+
+    def test_spool_serves_fresh_process_memo(self, tmp_path):
+        """After one run, a cold memo re-run loads traces from the spool."""
+        runner.run_points([tiny_point()], cache_dir=tmp_path, cache_enabled=False)
+        runner.clear_memo()
+        trace_store.clear_memo()
+        trace_store.counters.reset()
+        runner.run_points([tiny_point()], cache_dir=tmp_path, cache_enabled=False)
+        assert trace_store.counters.disk_hits == 1
+        assert trace_store.counters.generated == 0
+
+
+class TestObservedPoints:
+    def observed_point(self, **kwargs):
+        from repro.obs import ObsConfig
+
+        return runner.SweepPoint(
+            "mix", tiny_config(check_invariants=False), OPS, 1,
+            obs=ObsConfig(epoch_interval=64), **kwargs
+        )
+
+    def test_observed_stats_match_unobserved_packed_run(self, tmp_path):
+        """Observability must not perturb the packed-trace pipeline."""
+        plain = runner.SweepPoint("mix", tiny_config(check_invariants=False), OPS, 1)
+        [unobserved] = runner.run_points(
+            [plain], cache_dir=tmp_path, cache_enabled=True
+        )
+        [observed] = runner.run_points(
+            [self.observed_point()], cache_dir=tmp_path, cache_enabled=True
+        )
+        assert observed.stats == unobserved.stats
+        assert observed.cycles_per_core == unobserved.cycles_per_core
+
+    def test_observed_bypasses_result_caches_but_shares_traces(self, tmp_path):
+        point = self.observed_point()
+        runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        runner.run_points([point], cache_dir=tmp_path, cache_enabled=True)
+        # Re-simulated both times (no result memo/disk hit)...
+        assert runner.counters.computed == 2
+        assert runner.counters.memo_hits == 0
+        assert runner.counters.disk_hits == 0
+        assert not runner._MEMO
+        # ...but the input trace was generated exactly once and spooled.
+        assert trace_store.counters.generated == 1
+        spool = trace_store.TraceStore(runner.trace_spool_root(tmp_path))
+        assert spool.stats()["files"] == 1
+
+
 class TestExperimentsIntegration:
     def test_simulate_uses_both_layers(self, tmp_path):
         runner.configure(cache_dir=tmp_path)
@@ -222,6 +341,24 @@ class TestExperimentsIntegration:
         exp.clear_cache()
         assert not list(Path(tmp_path).glob("*.json"))
         assert not runner._MEMO
+
+    def test_clear_cache_clears_trace_spool_and_memo(self, tmp_path):
+        runner.configure(cache_dir=tmp_path)
+        exp.simulate("mix", tiny_config(check_invariants=False), OPS, 1)
+        spool_root = runner.trace_spool_root(tmp_path)
+        assert list(spool_root.glob("*.trace"))
+        assert trace_store._TRACE_MEMO
+        exp.clear_cache()
+        assert not list(spool_root.glob("*.trace"))
+        assert not trace_store._TRACE_MEMO
+
+    def test_counters_summary_reports_trace_store(self, tmp_path):
+        runner.configure(cache_dir=tmp_path)
+        exp.simulate("mix", tiny_config(check_invariants=False), OPS, 1)
+        text = runner.counters_summary()
+        assert "traces" in text
+        assert "generated 1" in text
+        assert "trace spool    1 files" in text
 
     def test_memo_shared_with_experiments(self):
         assert exp._RESULT_CACHE is runner._MEMO

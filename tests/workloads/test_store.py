@@ -1,0 +1,156 @@
+"""Trace store: memo/spool layering, key stability, corruption recovery."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.workloads import store
+from repro.workloads.suite import build_workload
+
+ARGS = dict(workload="mix", num_cores=4, ops_per_core=120, seed=3, block_bytes=64)
+
+
+def get(root, **overrides):
+    kwargs = dict(ARGS)
+    kwargs.update(overrides)
+    return store.get_packed_trace(root=root, **kwargs)
+
+
+@pytest.fixture(autouse=True)
+def fresh_store_state():
+    """Cold trace memo and zeroed counters around every test."""
+    store.clear_memo()
+    store.counters.reset()
+    yield
+    store.clear_memo()
+    store.counters.reset()
+
+
+class TestKeys:
+    def test_key_is_hex_sha256_and_stable(self):
+        key = store.trace_key(**ARGS)
+        assert len(key) == 64
+        int(key, 16)
+        assert key == store.trace_key(**ARGS)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workload": "blackscholes-like"},
+            {"num_cores": 8},
+            {"ops_per_core": 121},
+            {"seed": 4},
+            {"block_bytes": 32},
+        ],
+    )
+    def test_any_changed_field_changes_key(self, change):
+        kwargs = dict(ARGS)
+        kwargs.update(change)
+        assert store.trace_key(**kwargs) != store.trace_key(**ARGS)
+
+    def test_schema_version_changes_key(self, monkeypatch):
+        before = store.trace_key(**ARGS)
+        monkeypatch.setattr(
+            store, "TRACE_SCHEMA_VERSION", store.TRACE_SCHEMA_VERSION + 1
+        )
+        assert store.trace_key(**ARGS) != before
+
+
+class TestLayering:
+    def test_generated_once_then_memo(self, tmp_path):
+        first = get(tmp_path)
+        second = get(tmp_path)
+        assert second is first
+        assert store.counters.generated == 1
+        assert store.counters.memo_hits == 1
+
+    def test_spool_serves_after_memo_cleared(self, tmp_path):
+        first = get(tmp_path)
+        store.clear_memo()
+        second = get(tmp_path)
+        assert second == first
+        assert store.counters.generated == 1
+        assert store.counters.disk_hits == 1
+
+    def test_spooled_trace_matches_direct_generation(self, tmp_path):
+        get(tmp_path)
+        store.clear_memo()
+        loaded = get(tmp_path)
+        direct = build_workload(
+            ARGS["workload"], ARGS["num_cores"], ARGS["ops_per_core"],
+            seed=ARGS["seed"], block_bytes=ARGS["block_bytes"],
+        ).pack()
+        assert loaded == direct
+
+    def test_disk_disabled_never_spools(self, tmp_path):
+        store.get_packed_trace(root=tmp_path, disk_enabled=False, **ARGS)
+        assert not list(tmp_path.glob("*.trace"))
+        store.clear_memo()
+        store.get_packed_trace(root=tmp_path, disk_enabled=False, **ARGS)
+        assert store.counters.generated == 2
+
+    def test_stats_and_clear(self, tmp_path):
+        get(tmp_path)
+        get(tmp_path, seed=9)
+        spool = store.TraceStore(tmp_path)
+        stats = spool.stats()
+        assert stats["files"] == 2
+        assert stats["bytes"] > 0
+        assert spool.clear() == 2
+        assert spool.stats() == {"files": 0, "bytes": 0}
+
+
+class TestCorruption:
+    def spool_path(self, tmp_path):
+        get(tmp_path)
+        store.clear_memo()
+        return store.TraceStore(tmp_path).path_for(store.trace_key(**ARGS))
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            b"",                       # empty file
+            b"garbage not a trace",    # bad magic
+            store.MAGIC + b"\xff\xff\xff\xff",  # absurd header length
+            store.MAGIC + struct.pack("<I", 4) + b"{broken",  # bad header JSON
+        ],
+    )
+    def test_corrupt_file_regenerated_not_crashed(self, tmp_path, corruption):
+        path = self.spool_path(tmp_path)
+        path.write_bytes(corruption)
+        again = get(tmp_path)
+        assert store.counters.corrupt_entries == 1
+        assert store.counters.generated == 2
+        assert not path.exists() or again == get(tmp_path)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-8])
+        assert store.TraceStore(tmp_path).load(store.trace_key(**ARGS)) is None
+        assert store.counters.corrupt_entries == 1
+        assert not path.exists()
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        blob = path.read_bytes()
+        (header_len,) = struct.unpack_from("<I", blob, 8)
+        header = json.loads(blob[12:12 + header_len])
+        header["version"] = store.TRACE_SCHEMA_VERSION + 1
+        new_header = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        path.write_bytes(
+            store.MAGIC + struct.pack("<I", len(new_header)) + new_header
+            + blob[12 + header_len:]
+        )
+        assert store.TraceStore(tmp_path).load(store.trace_key(**ARGS)) is None
+        assert store.counters.corrupt_entries == 1
+
+    def test_key_mismatch_rejected(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        other = path.with_name(("0" * 64) + ".trace")
+        path.rename(other)
+        assert store.TraceStore(tmp_path).load("0" * 64) is None
+        assert not other.exists()
