@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath obs-smoke examples docs clean
+.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath obs-smoke fuzz fuzz-smoke examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -44,6 +44,17 @@ obs-smoke:
 		--ratio 0.125 --ops 2000 --obs-epoch 256 --trace-events \
 		--check-invariants 1024 --obs-out obs_smoke
 	$(PYTHON) tools/validate_trace.py obs_smoke.trace.json obs_smoke.epochs.jsonl
+
+# Differential fuzzing: every organization vs the IDEAL reference on
+# adversarial random programs (see docs/VERIFICATION.md).  Failures are
+# minimized and serialized under .repro_cache/failures/.
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --ops 2000 --seeds 25
+
+# Bounded fixed-seed sweep + seed-corpus replay (mirrors the CI
+# fuzz-smoke job; ~30 s).
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --ops 400 --seeds 8 --seed-corpus
 
 examples:
 	$(PYTHON) examples/quickstart.py

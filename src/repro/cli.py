@@ -263,58 +263,171 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fuzz(args: argparse.Namespace) -> int:
-    """Protocol fuzzing: random programs + invariants after every access.
+def _fuzz_options_for_seed(seed: int, args: argparse.Namespace):
+    """One deterministic parameterization per seed (cycles the knobs)."""
+    from .common.config import SharerFormat
+    from .common.mesi import CoherenceProtocol
+    from .verify import RunOptions
 
-    Exercises every directory organization over a tiny conflict-dense
-    system; any invariant violation aborts with the failing seed so the
-    case can be replayed exactly.
-    """
-    from .common.config import (
-        CacheConfig,
-        DirectoryConfig,
-        NoCConfig,
-        SystemConfig,
+    formats = (
+        SharerFormat.FULL_BIT_VECTOR,
+        SharerFormat.COARSE_VECTOR,
+        SharerFormat.LIMITED_POINTER,
     )
+    return RunOptions(
+        num_cores=args.cores if args.cores else (4 if seed % 4 < 2 else 6),
+        sharer_format=formats[(seed // 2) % 3],
+        coarse_group=4,
+        limited_pointers=2,
+        protocol=CoherenceProtocol.MOESI if seed % 2 else CoherenceProtocol.MESI,
+        check_every=args.check_every,
+        clean_eviction_notification=bool(seed & 4),
+        discovery_filter_slots=8 if seed % 16 >= 8 else 0,
+        seed=seed,
+    )
+
+
+def _fuzz_replay(path: str) -> int:
+    """Replay one serialized fuzz case; report whether it reproduces."""
+    from .verify import FAULTS, load_case, run_differential
+    from .verify.corpus import SEED_CATEGORY
+
+    case = load_case(path)
+    fault = FAULTS[case.fault] if case.fault else None
+    kind = DirectoryKind(case.kind)
+    divergences = run_differential(
+        case.program, kinds=[kind], options=case.options, fault=fault
+    )
+    fault_note = f" fault={case.fault}" if case.fault else ""
+    print(
+        f"replaying {path}: kind={case.kind} category={case.category}"
+        f"{fault_note} ({len(case.program)} ops)"
+    )
+    if case.category == SEED_CATEGORY:
+        if divergences:
+            for divergence in divergences:
+                print(f"  {divergence}", file=sys.stderr)
+            print("seed case FAILED: regression program diverged", file=sys.stderr)
+            return 1
+        print("seed case clean: no divergence (expected)")
+        return 0
+    matches = [
+        d for d in divergences if d.signature == (case.kind, case.category)
+    ]
+    if matches:
+        print(f"reproduced: {matches[0]}")
+        return 1
+    for divergence in divergences:
+        print(f"  other divergence: {divergence}")
+    print("did not reproduce the recorded failure")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: every organization vs the IDEAL reference.
+
+    Generates adversarial flat programs (eviction storms, stash/discovery
+    races, pointer overflow, coarse-group aliasing, set pile-ups), replays
+    each on every requested organization and on IDEAL with the identical
+    global operation order, and diffs observed data versions, the invariant
+    suite and final architectural state.  A divergence is delta-debugged
+    down to a minimal program, serialized under the failure corpus and
+    printed with a one-command reproduction line.  See docs/VERIFICATION.md.
+    """
     from .common.rng import DeterministicRng
+    from .verify import (
+        FAULTS,
+        FailureCase,
+        generate_program,
+        minimize,
+        repro_command,
+        run_differential,
+        save_case,
+        seed_corpus,
+    )
+    from .verify.generator import PROFILES
+
+    if args.list_faults:
+        for name in sorted(FAULTS):
+            print(f"{name}: {FAULTS[name].description}")
+        return 0
+    if args.replay:
+        return _fuzz_replay(args.replay)
+
+    out_dir = args.out_dir
+    if args.seed_corpus:
+        for path in seed_corpus(out_dir):
+            print(f"planted seed case {path}")
+            code = _fuzz_replay(str(path))
+            if code:
+                return code
 
     kinds = [DirectoryKind(k) for k in args.kinds]
-    programs = 0
-    for round_id in range(args.rounds):
-        seed = args.seed + round_id
-        rng = DeterministicRng(seed)
-        for kind in kinds:
-            config = SystemConfig(
-                num_cores=4,
-                l1=CacheConfig(sets=2, ways=2),
-                llc=CacheConfig(sets=8, ways=2),
-                directory=DirectoryConfig(
-                    kind=kind, ways=2, entries_override=4,
-                    clean_eviction_notification=rng.random() < 0.3,
-                    discovery_filter_slots=rng.choice([0, 8]),
-                ),
-                noc=NoCConfig(mesh_width=2, mesh_height=2),
-                check_invariants=True,
-                seed=seed,
-            )
-            system = build_system(config)
-            try:
-                for _ in range(args.length):
-                    core = rng.randint(0, 3)
-                    addr = rng.randint(0, args.blocks - 1)
-                    system.access(core, addr, rng.random() < 0.4)
-                    system.check_invariants()
-            except ReproError as exc:
-                print(
-                    f"FUZZ FAILURE: kind={kind.value} seed={seed}: {exc}",
-                    file=sys.stderr,
+    profiles = args.profiles or list(PROFILES)
+    fault = FAULTS[args.inject_fault] if args.inject_fault else None
+    failures = 0
+    for offset in range(args.seeds):
+        seed = args.seed_base + offset
+        options = _fuzz_options_for_seed(seed, args)
+        profile = profiles[offset % len(profiles)]
+        program = generate_program(
+            profile, options.num_cores, args.ops, DeterministicRng(seed)
+        )
+        divergences = run_differential(
+            program, kinds=kinds, options=options, fault=fault
+        )
+        if not divergences:
+            continue
+        failures += len(divergences)
+        divergence = divergences[0]
+        print(
+            f"seed {seed} profile={profile} "
+            f"format={options.sharer_format.value} "
+            f"protocol={options.protocol.value}: {divergence}",
+            file=sys.stderr,
+        )
+        minimal = list(program)
+        if args.minimize:
+            signature = divergence.signature
+            kind = DirectoryKind(divergence.kind) if divergence.kind != "ideal" \
+                else DirectoryKind.IDEAL
+            replay_kinds = kinds if kind is DirectoryKind.IDEAL else [kind]
+
+            def _still_fails(candidate) -> bool:
+                again = run_differential(
+                    candidate, kinds=replay_kinds, options=options, fault=fault
                 )
-                return 1
-            programs += 1
+                return any(d.signature == signature for d in again)
+
+            minimal = minimize(program, _still_fails)
+            print(
+                f"minimized {len(program)} -> {len(minimal)} ops",
+                file=sys.stderr,
+            )
+        case = FailureCase(
+            program=minimal,
+            kind=divergence.kind,
+            category=divergence.category,
+            detail=divergence.detail,
+            options=options,
+            profile=profile,
+            fault=args.inject_fault,
+        )
+        path = save_case(case, out_dir)
+        print(f"saved repro case: {path}", file=sys.stderr)
+        print(f"reproduce with: {repro_command(path)}", file=sys.stderr)
+    checked = len(kinds) * args.seeds
+    if failures:
+        print(
+            f"FUZZ FAILURE: {failures} divergence(s) across "
+            f"{args.seeds} seeds x {args.ops} ops",
+            file=sys.stderr,
+        )
+        return 1
     print(
-        f"fuzzed {programs} programs x {args.length} accesses "
-        f"({len(kinds)} organizations, seeds {args.seed}..{args.seed + args.rounds - 1}): "
-        "all invariants held"
+        f"fuzzed {args.seeds} programs x {args.ops} ops "
+        f"({len(kinds)} organizations, {checked} differential runs): "
+        "all organizations agree with ideal; all invariants held"
     )
     return 0
 
@@ -466,14 +579,55 @@ def build_parser() -> argparse.ArgumentParser:
     replay.set_defaults(func=cmd_replay)
 
     fuzz = sub.add_parser("fuzz", help=cmd_fuzz.__doc__)
-    fuzz.add_argument("--rounds", type=int, default=20)
-    fuzz.add_argument("--length", type=int, default=300, help="accesses per program")
-    fuzz.add_argument("--blocks", type=int, default=12, help="address-space size")
-    fuzz.add_argument("--seed", type=int, default=1)
+    fuzz.add_argument("--ops", type=int, default=400, help="ops per program")
+    fuzz.add_argument("--seeds", type=int, default=10, help="programs to run")
+    fuzz.add_argument("--seed-base", type=int, default=1, help="first seed")
     fuzz.add_argument(
         "--kinds", nargs="+",
-        default=["sparse", "cuckoo", "scd", "stash", "adaptive_stash"],
-        choices=[k.value for k in DirectoryKind],
+        default=[
+            "sparse", "cuckoo", "scd", "stash", "adaptive_stash", "in_llc",
+        ],
+        choices=[k.value for k in DirectoryKind if k.value != "ideal"],
+        help="organizations to diff against the IDEAL reference",
+    )
+    from .verify.generator import PROFILES as fuzz_profiles
+
+    fuzz.add_argument(
+        "--profiles", nargs="+", default=None, choices=list(fuzz_profiles),
+        help="generator profiles to cycle (default: all)",
+    )
+    fuzz.add_argument(
+        "--cores", type=int, default=0,
+        help="core count (default 0 = cycle 4 and 6 across seeds)",
+    )
+    fuzz.add_argument(
+        "--check-every", type=int, default=8, metavar="N",
+        help="run the invariant suite every N ops (0 = only at the end)",
+    )
+    fuzz.add_argument(
+        "--minimize", action=argparse.BooleanOptionalAction, default=True,
+        help="delta-debug failing programs before serializing them",
+    )
+    fuzz.add_argument(
+        "--inject-fault", default=None, metavar="NAME",
+        help="inject a named test-only fault into every non-ideal system "
+             "(see --list-faults)",
+    )
+    fuzz.add_argument(
+        "--list-faults", action="store_true",
+        help="list injectable fault names and exit",
+    )
+    fuzz.add_argument(
+        "--out-dir", default=None, metavar="PATH",
+        help="failure-corpus directory (default: <cache-dir>/failures)",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="replay one serialized repro case and exit",
+    )
+    fuzz.add_argument(
+        "--seed-corpus", action="store_true",
+        help="plant + replay the distilled regression programs first",
     )
     fuzz.set_defaults(func=cmd_fuzz)
 

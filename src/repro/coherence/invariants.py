@@ -24,8 +24,12 @@ from .states import MesiState
 def check_swmr(l1s: List[L1Cache]) -> None:
     """Single-Writer-Multiple-Reader.
 
-    M/E copies exclude every other copy; under MOESI at most one OWNED copy
-    may coexist with SHARED readers (and never with M/E).
+    M/E copies exclude every other copy.  Under MOESI exactly one OWNED
+    copy may coexist with any number of SHARED readers — that is the
+    *only* legal multi-copy configuration containing a dirty line — and
+    OWNED never coexists with another OWNED or with M/E.  The OWNED rules
+    are checked first so an O+E/M pile-up is reported as the OWNED-state
+    violation it is, not as a generic SWMR failure.
     """
     seen: Dict[int, List[tuple]] = {}
     for l1 in l1s:
@@ -40,13 +44,13 @@ def check_swmr(l1s: List[L1Cache]) -> None:
         owned = [
             (core, state) for core, state in holders if state is MesiState.OWNED
         ]
-        if exclusive and len(holders) > 1:
-            raise InvariantViolation(
-                f"SWMR violated for block {addr:#x}: holders {holders}"
-            )
         if len(owned) > 1 or (owned and exclusive):
             raise InvariantViolation(
                 f"OWNED-state rule violated for block {addr:#x}: holders {holders}"
+            )
+        if exclusive and len(holders) > 1:
+            raise InvariantViolation(
+                f"SWMR violated for block {addr:#x}: holders {holders}"
             )
 
 

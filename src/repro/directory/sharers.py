@@ -142,6 +142,10 @@ class CoarseVector(SharerRep):
         self.mask = 0
 
     def targets(self) -> List[int]:
+        # The last group is short when num_cores is not a multiple of the
+        # group size; the clamp keeps a lit tail-group bit from naming
+        # cores that do not exist (which would address past the end of
+        # the invalidation fan-out).
         result = []
         num_groups = (self.num_cores + self.group - 1) // self.group
         for g in range(num_groups):
@@ -186,6 +190,11 @@ class LimitedPointer(SharerRep):
             self.ids.clear()
 
     def remove(self, core: int) -> None:
+        # After degrade-to-broadcast the pointer list is empty and which
+        # cores it named is unrecoverable: a departure must NOT clear the
+        # overflow flag (that would silently forget the unnamed sharers)
+        # and must not touch the (empty) list.  Precision returns only via
+        # clear() when the entry's sharer counter proves nobody is left.
         if not self.overflowed and core in self.ids:
             self.ids.remove(core)
 

@@ -34,9 +34,58 @@ from ..common.errors import TraceError
 #: One operation: (byte_address, is_write).
 Op = Tuple[int, bool]
 
+#: One globally-ordered operation: (core, block_address, is_write).
+FlatOp = Tuple[int, int, bool]
+
 #: Largest byte address a packed stream can encode: the write bit takes
 #: the low bit of an unsigned 64-bit word, leaving 63 bits of address.
 MAX_PACKED_ADDR = (1 << 63) - 1
+
+#: Flat-program encoding (repro.verify): the issuing core rides in the
+#: high bits of the address field, so a single packed stream preserves the
+#: *global* operation order that per-core streams lose.
+FLAT_CORE_SHIFT = 48
+
+#: Largest block address / core id a flat-program word can carry.
+MAX_FLAT_ADDR = (1 << FLAT_CORE_SHIFT) - 1
+MAX_FLAT_CORE = (1 << (63 - FLAT_CORE_SHIFT)) - 1
+
+
+def pack_flat_program(ops: "Iterable[FlatOp]") -> "PackedTrace":
+    """Encode a globally-ordered ``(core, block, is_write)`` program.
+
+    The result is a single-stream :class:`PackedTrace` whose words are
+    ``(((core << FLAT_CORE_SHIFT) | block) << 1) | is_write`` — the exact
+    on-disk spool format of per-core traces, reused so the differential
+    fuzzer's failure corpus (:mod:`repro.verify.corpus`) needs no second
+    serializer.  Raises :class:`~repro.common.errors.TraceError` when a
+    core id or block address does not fit its field.
+    """
+    packed = PackedTrace(1)
+    stream = packed.streams[0]
+    for core, block, is_write in ops:
+        if not 0 <= core <= MAX_FLAT_CORE:
+            raise TraceError(f"flat-program core {core} outside [0, {MAX_FLAT_CORE}]")
+        if not 0 <= block <= MAX_FLAT_ADDR:
+            raise TraceError(
+                f"flat-program block {block:#x} outside [0, {MAX_FLAT_ADDR:#x}]"
+            )
+        word = ((core << FLAT_CORE_SHIFT) | block) << 1
+        stream.append(word | 1 if is_write else word)
+    return packed
+
+
+def unpack_flat_program(packed: "PackedTrace") -> "List[FlatOp]":
+    """Decode :func:`pack_flat_program`'s single-stream encoding."""
+    if packed.num_cores != 1:
+        raise TraceError(
+            f"flat programs are single-stream, got {packed.num_cores} streams"
+        )
+    ops: List[FlatOp] = []
+    for word in packed.streams[0]:
+        field = word >> 1
+        ops.append((field >> FLAT_CORE_SHIFT, field & MAX_FLAT_ADDR, bool(word & 1)))
+    return ops
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,153 @@
+"""Failure corpus: replayable repro cases in the trace-spool format.
+
+Every confirmed divergence is serialized under
+``<cache-dir>/failures/`` (default ``.repro_cache/failures/``) as one
+``<sha256>.trace`` file in the exact on-disk format of the workload
+trace spool (:mod:`repro.workloads.store`): magic, JSON header, packed
+u64 payload.  The program itself rides as a single-stream *flat program*
+(:func:`repro.sim.trace.pack_flat_program`), so the global operation
+order survives the round trip; everything else — organization, sharer
+format, protocol, fault name, divergence category — rides in the header
+under the ``fuzz`` key.
+
+``repro fuzz --replay <file>`` rebuilds the configuration from the
+header and re-runs the differential check; a failure case must reproduce
+its recorded ``(kind, category)`` signature, while *seed* cases (regress
+ion programs distilled from past audits, planted by :func:`seed_corpus`)
+must replay clean.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..common.errors import TraceError
+from ..sim.trace import FlatOp, pack_flat_program, unpack_flat_program
+from ..workloads.store import TraceStore
+from .differ import RunOptions
+
+#: Header key every fuzz case stores its metadata under.
+FUZZ_META_KEY = "fuzz"
+
+#: Category used for planted regression programs (replay must be clean).
+SEED_CATEGORY = "seed"
+
+
+def default_failure_root() -> Path:
+    """The failure-corpus directory under the configured cache root."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+    return Path(cache_dir) / "failures"
+
+
+@dataclass
+class FailureCase:
+    """One replayable fuzz case: the program plus how to run it."""
+
+    program: List[FlatOp]
+    kind: str                      # DirectoryKind value under test
+    category: str                  # divergence category, or "seed"
+    detail: str                    # human-readable divergence description
+    options: RunOptions = field(default_factory=RunOptions)
+    profile: str = "mixed"
+    fault: Optional[str] = None    # injected FAULTS name, when any
+
+    def meta(self) -> Dict[str, object]:
+        """The ``fuzz`` header block (everything but the program)."""
+        return {
+            "kind": self.kind,
+            "category": self.category,
+            "detail": self.detail,
+            "profile": self.profile,
+            "fault": self.fault,
+            "options": self.options.to_meta(),
+        }
+
+
+def case_key(case: FailureCase) -> str:
+    """Content-addressed corpus key: SHA-256 of metadata + program."""
+    canonical = json.dumps(case.meta(), sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8"))
+    digest.update(pack_flat_program(case.program).stream_bytes()[0])
+    return digest.hexdigest()
+
+
+def save_case(case: FailureCase, root: Optional[Union[str, Path]] = None) -> Path:
+    """Serialize one case into the corpus; returns its file path."""
+    store = TraceStore(root if root is not None else default_failure_root())
+    key = case_key(case)
+    store.store(key, {FUZZ_META_KEY: case.meta()}, pack_flat_program(case.program))
+    return store.path_for(key)
+
+
+def load_case(path: Union[str, Path]) -> FailureCase:
+    """Deserialize a corpus file back into a :class:`FailureCase`.
+
+    Raises :class:`~repro.common.errors.TraceError` when the file is
+    missing, corrupt, or not a fuzz case (corrupt files are also deleted,
+    matching the spool's regeneration discipline).
+    """
+    path = Path(path)
+    store = TraceStore(path.parent)
+    entry = store.load_entry(path.stem)
+    if entry is None:
+        raise TraceError(f"fuzz case {path} is missing or corrupt")
+    header, packed = entry
+    meta = header.get(FUZZ_META_KEY)
+    if not isinstance(meta, dict):
+        raise TraceError(f"{path} is a trace spool entry, not a fuzz case")
+    try:
+        return FailureCase(
+            program=unpack_flat_program(packed),
+            kind=str(meta["kind"]),
+            category=str(meta["category"]),
+            detail=str(meta.get("detail", "")),
+            options=RunOptions.from_meta(meta["options"]),
+            profile=str(meta.get("profile", "mixed")),
+            fault=meta.get("fault"),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{path} has a malformed fuzz header: {exc}") from None
+
+
+def repro_command(path: Union[str, Path]) -> str:
+    """The one-command reproduction line printed next to a saved case."""
+    return f"PYTHONPATH=src python -m repro fuzz --replay {path}"
+
+
+def seed_corpus(root: Optional[Union[str, Path]] = None) -> List[Path]:
+    """Plant the distilled regression programs; returns their paths.
+
+    Currently one case: the MOESI owner/sharer distinguishing trace from
+    the ``check_swmr`` audit — a write creates an M copy, a remote read
+    downgrades it to OWNED (dirty, still servicing), a second reader
+    joins, and the owner upgrades back to M, which must invalidate both
+    SHARED copies.  A directory that mishandles the OWNED owner pointer
+    (or an invariant checker that bans legal OWNED+SHARED) fails here.
+    """
+    from ..common.mesi import CoherenceProtocol  # local: avoid cycle at import
+
+    program: List[FlatOp] = [
+        (0, 0x10, True),    # core 0: M copy of block 0x10
+        (1, 0x10, False),   # core 1 reads: owner downgrades M -> O, O+S
+        (2, 0x10, False),   # core 2 joins: O+S+S must satisfy check_swmr
+        (0, 0x10, True),    # owner upgrades O -> M: both S copies invalidated
+        (1, 0x10, False),   # reader returns: must observe the new version
+    ]
+    case = FailureCase(
+        program=program,
+        kind="stash",
+        category=SEED_CATEGORY,
+        detail="MOESI OWNED+SHARED distinguishing trace (check_swmr audit)",
+        options=RunOptions(
+            num_cores=4,
+            protocol=CoherenceProtocol.MOESI,
+            check_every=1,
+        ),
+        profile="seed",
+    )
+    return [save_case(case, root)]

@@ -1,0 +1,467 @@
+"""Differential execution: every organization vs. the IDEAL reference.
+
+The IDEAL directory (infinite duplicate-tag, no conflicts) defines the
+architectural contract; every other organization may differ in *latency*
+and *traffic* but never in the values a program observes.  This module
+replays one flat program (identical global operation order) on each
+organization and compares three things against the reference:
+
+1. **Observed values** — after every operation, the data version the
+   issuing core's private cache holds.  Writes mint one version each and
+   program order is shared, so the per-op version sequence of a correct
+   organization is identical to IDEAL's.
+2. **Invariants** — the full suite from
+   :mod:`repro.coherence.invariants`, run every ``check_every`` ops and
+   at the end.
+3. **Final architectural state** — the committed-version map
+   (``latest_version``) after the program drains.
+
+On top of the differential comparison, :func:`check_stat_sanity` asserts
+per-organization accounting identities (reads + writes = accesses, hit +
+upgrade + miss = accesses, ...) that hold for *any* correct run.
+
+A :class:`Divergence` names the organization, a category (``crash``,
+``invariant``, ``value``, ``final-state``, ``stats``) and the first
+offending operation where applicable.  The minimizer keys on the
+``(kind, category)`` signature.
+
+Fault injection: :data:`FAULTS` maps names to test-only mutations of a
+built system (a lost invalidation message, a dropped stash bit, a sharer
+representation that violates its encoding contract).  They exist to prove
+the harness *can* catch bugs — ``repro fuzz --inject-fault`` wires them
+into every non-ideal system while the reference stays clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..common.config import (
+    CacheConfig,
+    DirectoryKind,
+    NoCConfig,
+    SharerFormat,
+    SystemConfig,
+)
+from ..common.errors import ReproError, InvariantViolation
+from ..common.mesi import CoherenceProtocol
+from ..coherence.protocol import CoherentSystem
+from ..directory.sharers import CoarseVector, LimitedPointer
+from ..sim.system import build_system
+from ..sim.trace import FlatOp
+
+#: Organizations the fuzzer exercises by default: everything but the
+#: reference itself.
+DEFAULT_FUZZ_KINDS = tuple(
+    kind for kind in DirectoryKind if kind is not DirectoryKind.IDEAL
+)
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """One fuzz parameterization (everything but the program and kind).
+
+    The geometry is deliberately tiny — two-set L1s, an eight-set LLC and
+    a directory of ``entries`` tracking slots — so a few hundred ops
+    generate the displacement, overflow and conflict pressure a realistic
+    configuration would need millions for.
+    """
+
+    num_cores: int = 4
+    sharer_format: SharerFormat = SharerFormat.FULL_BIT_VECTOR
+    coarse_group: int = 4
+    limited_pointers: int = 2
+    protocol: CoherenceProtocol = CoherenceProtocol.MESI
+    entries: int = 8
+    check_every: int = 8
+    clean_eviction_notification: bool = False
+    discovery_filter_slots: int = 0
+    seed: int = 1
+
+    def to_meta(self) -> Dict[str, object]:
+        """JSON-serializable form (corpus headers)."""
+        return {
+            "num_cores": self.num_cores,
+            "sharer_format": self.sharer_format.value,
+            "coarse_group": self.coarse_group,
+            "limited_pointers": self.limited_pointers,
+            "protocol": self.protocol.value,
+            "entries": self.entries,
+            "check_every": self.check_every,
+            "clean_eviction_notification": self.clean_eviction_notification,
+            "discovery_filter_slots": self.discovery_filter_slots,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: Dict[str, object]) -> "RunOptions":
+        """Inverse of :meth:`to_meta` (replay path)."""
+        return cls(
+            num_cores=int(meta["num_cores"]),
+            sharer_format=SharerFormat(meta["sharer_format"]),
+            coarse_group=int(meta["coarse_group"]),
+            limited_pointers=int(meta["limited_pointers"]),
+            protocol=CoherenceProtocol(meta["protocol"]),
+            entries=int(meta["entries"]),
+            check_every=int(meta["check_every"]),
+            clean_eviction_notification=bool(
+                meta.get("clean_eviction_notification", False)
+            ),
+            discovery_filter_slots=int(meta.get("discovery_filter_slots", 0)),
+            seed=int(meta.get("seed", 1)),
+        )
+
+
+def make_fuzz_config(kind: DirectoryKind, options: RunOptions) -> SystemConfig:
+    """The tiny differential-fuzz system for one organization."""
+    mesh_height = (options.num_cores + 1) // 2
+    return SystemConfig(
+        num_cores=options.num_cores,
+        l1=CacheConfig(sets=2, ways=2),
+        llc=CacheConfig(sets=8, ways=2),
+        noc=NoCConfig(mesh_width=2, mesh_height=max(mesh_height, 2)),
+        protocol=options.protocol,
+        seed=options.seed,
+    ).with_directory(
+        kind=kind,
+        entries_override=options.entries,
+        ways=2,
+        sharer_format=options.sharer_format,
+        coarse_group=options.coarse_group,
+        limited_pointers=options.limited_pointers,
+        clean_eviction_notification=options.clean_eviction_notification,
+        discovery_filter_slots=options.discovery_filter_slots,
+    )
+
+
+# -- fault injection --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named, test-only mutation applied to a built system."""
+
+    name: str
+    description: str
+    inject: Callable[[CoherentSystem], None]
+
+
+class _ResurrectingLimitedPointer(LimitedPointer):
+    """Buggy rep: remove() after overflow restores (false) precision."""
+
+    def remove(self, core: int) -> None:
+        if self.overflowed:
+            self.overflowed = False  # forgets the unnamed sharers
+            return
+        if core in self.ids:
+            self.ids.remove(core)
+
+    def fresh(self) -> "_ResurrectingLimitedPointer":
+        rep = _ResurrectingLimitedPointer.__new__(_ResurrectingLimitedPointer)
+        rep.num_cores = self.num_cores
+        rep.pointers = self.pointers
+        rep.ids = []
+        rep.overflowed = False
+        return rep
+
+
+class _UnclampedCoarseVector(CoarseVector):
+    """Buggy rep: targets() names every group slot, existent or not."""
+
+    def targets(self) -> List[int]:
+        result: List[int] = []
+        num_groups = (self.num_cores + self.group - 1) // self.group
+        for g in range(num_groups):
+            if self.mask & (1 << g):
+                start = g * self.group
+                result.extend(range(start, start + self.group))
+        return result
+
+    def fresh(self) -> "_UnclampedCoarseVector":
+        rep = _UnclampedCoarseVector.__new__(_UnclampedCoarseVector)
+        rep.num_cores = self.num_cores
+        rep.group = self.group
+        rep.mask = 0
+        return rep
+
+
+def _inject_drop_invalidation(system: CoherentSystem) -> None:
+    # Core 1 stops acting on invalidation messages from the home: its
+    # copy survives while the directory believes it is gone.
+    system.home._l1_invalidate[1] = lambda addr: None
+
+
+def _inject_stash_bit_lost(system: CoherentSystem) -> None:
+    # The LLC forgets to record stashed entries, so discovery never runs
+    # and hidden (possibly dirty) copies are simply lost.
+    system.llc.set_stash_bit = lambda addr: None
+
+
+def _swap_rep_template(system: CoherentSystem, cls, **params) -> None:
+    directory = system.directory
+    template = getattr(directory, "_rep_template", None)
+    if template is None:
+        return
+    directory._rep_template = cls(system.config.num_cores, **params)
+
+
+def _inject_pointer_resurrect(system: CoherentSystem) -> None:
+    _swap_rep_template(
+        system,
+        _ResurrectingLimitedPointer,
+        pointers=system.config.directory.limited_pointers,
+    )
+
+
+def _inject_coarse_unclamped(system: CoherentSystem) -> None:
+    _swap_rep_template(
+        system, _UnclampedCoarseVector, group=system.config.directory.coarse_group
+    )
+
+
+#: Registry of injectable faults (``repro fuzz --inject-fault <name>``).
+FAULTS: Dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "drop-invalidation",
+            "core 1 ignores home-initiated invalidations (lost message)",
+            _inject_drop_invalidation,
+        ),
+        FaultSpec(
+            "stash-bit-lost",
+            "LLC drops set_stash_bit writes; stashed copies become unreachable",
+            _inject_stash_bit_lost,
+        ),
+        FaultSpec(
+            "pointer-resurrect",
+            "LimitedPointer.remove() clears the overflow flag (forgets sharers)",
+            _inject_pointer_resurrect,
+        ),
+        FaultSpec(
+            "coarse-unclamped",
+            "CoarseVector.targets() names nonexistent tail-group cores",
+            _inject_coarse_unclamped,
+        ),
+    )
+}
+
+
+# -- execution --------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one replay exposes for comparison."""
+
+    kind: DirectoryKind
+    versions: List[int] = field(default_factory=list)
+    final_versions: Dict[int, int] = field(default_factory=dict)
+    stats: Dict[str, float] = field(default_factory=dict)
+    error_category: Optional[str] = None
+    error_detail: Optional[str] = None
+    error_op: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """Did the replay complete without raising?"""
+        return self.error_category is None
+
+
+def execute_program(
+    program: Sequence[FlatOp],
+    config: SystemConfig,
+    *,
+    check_every: int = 8,
+    fault: Optional[FaultSpec] = None,
+) -> ExecutionResult:
+    """Replay one flat program on a fresh system built from ``config``.
+
+    Captures, per operation, the data version the issuing core's private
+    cache holds immediately afterwards (the "observed value"), runs the
+    invariant suite every ``check_every`` ops (0 disables the cadence;
+    the final check always runs), and snapshots the committed-version map
+    and flat statistics at the end.  Exceptions never escape: they are
+    folded into the result as a ``crash`` or ``invariant`` record.
+    """
+    result = ExecutionResult(kind=config.directory.kind)
+    index = -1
+    try:
+        system = build_system(config)
+        if fault is not None:
+            fault.inject(system)
+        versions = result.versions
+        access = system.access
+        l1s = system.l1s
+        for index, (core, block, is_write) in enumerate(program):
+            access(core, block, is_write)
+            held = l1s[core].probe(block, touch=False)
+            versions.append(-1 if held is None else held.version)
+            if check_every and (index + 1) % check_every == 0:
+                system.check_invariants()
+        system.check_invariants()
+        result.final_versions = dict(system.home.latest_version)
+        result.stats = system.flat_stats()
+    except InvariantViolation as exc:
+        result.error_category = "invariant"
+        result.error_detail = str(exc)
+        result.error_op = index
+    except (ReproError, IndexError, KeyError, AssertionError) as exc:
+        result.error_category = "crash"
+        result.error_detail = f"{type(exc).__name__}: {exc}"
+        result.error_op = index
+    return result
+
+
+# -- comparison -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One confirmed disagreement between an organization and IDEAL."""
+
+    kind: str
+    category: str  # crash | invariant | value | final-state | stats
+    detail: str
+    op_index: Optional[int] = None
+
+    @property
+    def signature(self) -> tuple:
+        """What the minimizer must preserve while shrinking."""
+        return (self.kind, self.category)
+
+    def __str__(self) -> str:
+        where = "" if self.op_index is None else f" at op {self.op_index}"
+        return f"[{self.kind}/{self.category}]{where}: {self.detail}"
+
+
+def check_stat_sanity(result: ExecutionResult, num_ops: int) -> Optional[str]:
+    """Accounting identities that hold for any correct replay.
+
+    Returns a description of the first broken identity, or None.
+    """
+    stats = result.stats
+    proto = {
+        name.rsplit(".", 1)[1]: value
+        for name, value in stats.items()
+        if name.startswith("system.protocol.")
+    }
+    accesses = proto.get("accesses", 0)
+    checks = [
+        ("accesses == ops", accesses == num_ops),
+        (
+            "reads + writes == accesses",
+            proto.get("reads", 0) + proto.get("writes", 0) == accesses,
+        ),
+        (
+            "l1_hits + l2_hits + upgrade_misses + l1_misses == accesses",
+            proto.get("l1_hits", 0)
+            + proto.get("l2_hits", 0)
+            + proto.get("upgrade_misses", 0)
+            + proto.get("l1_misses", 0)
+            == accesses,
+        ),
+        (
+            "coverage_misses <= l1_misses",
+            proto.get("coverage_misses", 0) <= proto.get("l1_misses", 0),
+        ),
+    ]
+    for label, ok in checks:
+        if not ok:
+            return f"stat identity broken: {label} ({proto})"
+    for name, value in stats.items():
+        if value < 0:
+            return f"negative counter {name} = {value}"
+    return None
+
+
+def diff_results(
+    reference: ExecutionResult, candidate: ExecutionResult, num_ops: int
+) -> Optional[Divergence]:
+    """First divergence of ``candidate`` from the IDEAL ``reference``."""
+    kind = candidate.kind.value
+    if not candidate.ok:
+        return Divergence(
+            kind,
+            candidate.error_category or "crash",
+            candidate.error_detail or "unknown failure",
+            candidate.error_op,
+        )
+    for index, (want, got) in enumerate(
+        zip(reference.versions, candidate.versions)
+    ):
+        if want != got:
+            return Divergence(
+                kind,
+                "value",
+                f"observed version {got}, ideal observed {want}",
+                index,
+            )
+    if candidate.final_versions != reference.final_versions:
+        keys = set(reference.final_versions) | set(candidate.final_versions)
+        diffs = [
+            f"{addr:#x}: ideal={reference.final_versions.get(addr)} "
+            f"got={candidate.final_versions.get(addr)}"
+            for addr in sorted(keys)
+            if reference.final_versions.get(addr)
+            != candidate.final_versions.get(addr)
+        ]
+        return Divergence(
+            kind, "final-state", "committed versions differ: " + "; ".join(diffs[:4])
+        )
+    broken = check_stat_sanity(candidate, num_ops)
+    if broken is not None:
+        return Divergence(kind, "stats", broken)
+    return None
+
+
+def run_differential(
+    program: Sequence[FlatOp],
+    *,
+    kinds: Sequence[DirectoryKind] = DEFAULT_FUZZ_KINDS,
+    options: RunOptions = RunOptions(),
+    fault: Optional[FaultSpec] = None,
+    fault_kinds: Optional[Sequence[DirectoryKind]] = None,
+) -> List[Divergence]:
+    """Run every organization against IDEAL on one program.
+
+    ``fault`` (when given) is injected into each non-ideal system whose
+    kind is in ``fault_kinds`` (default: all of ``kinds``); the reference
+    always runs clean.  Returns every divergence found — empty means all
+    organizations agree with IDEAL and satisfy the stat identities.
+    """
+    reference = execute_program(
+        program,
+        make_fuzz_config(DirectoryKind.IDEAL, options),
+        check_every=options.check_every,
+    )
+    if not reference.ok:
+        return [
+            Divergence(
+                DirectoryKind.IDEAL.value,
+                reference.error_category or "crash",
+                f"IDEAL reference failed: {reference.error_detail}",
+                reference.error_op,
+            )
+        ]
+    broken = check_stat_sanity(reference, len(program))
+    if broken is not None:
+        return [Divergence(DirectoryKind.IDEAL.value, "stats", broken)]
+    divergences: List[Divergence] = []
+    for kind in kinds:
+        if kind is DirectoryKind.IDEAL:
+            continue
+        this_fault = fault
+        if fault is not None and fault_kinds is not None and kind not in fault_kinds:
+            this_fault = None
+        candidate = execute_program(
+            program,
+            make_fuzz_config(kind, options),
+            check_every=options.check_every,
+            fault=this_fault,
+        )
+        divergence = diff_results(reference, candidate, len(program))
+        if divergence is not None:
+            divergences.append(divergence)
+    return divergences

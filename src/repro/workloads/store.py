@@ -145,6 +145,18 @@ class TraceStore:
 
     def load(self, key: str) -> Optional[PackedTrace]:
         """The spooled trace for ``key``, or None on miss/corruption."""
+        entry = self.load_entry(key)
+        return None if entry is None else entry[1]
+
+    def load_entry(self, key: str) -> Optional[tuple]:
+        """``(header, trace)`` for ``key``, or None on miss/corruption.
+
+        Every validation failure — bad magic, a zero-length or truncated
+        header, non-JSON or non-dict header, version/key mismatch, per-core
+        ``counts`` that disagree with the payload size — deletes the file
+        and returns None so callers regenerate; a spool entry can never
+        raise out of this method.
+        """
         path = self.path_for(key)
         try:
             blob = path.read_bytes()
@@ -158,25 +170,35 @@ class TraceStore:
             if blob[:8] != MAGIC:
                 raise ValueError("bad magic")
             (header_len,) = _HEADER_LEN.unpack_from(blob, 8)
+            if header_len == 0:
+                raise ValueError("zero-length header")
             header_end = 12 + header_len
+            if header_end > len(blob):
+                raise ValueError("truncated header")
             header = json.loads(blob[12:header_end].decode("utf-8"))
+            if not isinstance(header, dict):
+                raise ValueError("header is not an object")
             if header.get("version") != TRACE_SCHEMA_VERSION:
                 raise ValueError("trace schema version mismatch")
             if header.get("key") != key:
                 raise ValueError("trace key mismatch")
             counts: List[int] = header["counts"]
-            if len(counts) != header["num_cores"] or any(c < 0 for c in counts):
+            if not isinstance(counts, list) or not all(
+                isinstance(c, int) and c >= 0 for c in counts
+            ):
+                raise ValueError("malformed core counts")
+            if len(counts) != header["num_cores"]:
                 raise ValueError("inconsistent core counts")
             payload = blob[header_end:]
             if len(payload) != 8 * sum(counts):
-                raise ValueError("payload length mismatch")
+                raise ValueError("counts disagree with payload length")
             blobs = []
             offset = 0
             for count in counts:
                 end = offset + 8 * count
                 blobs.append(payload[offset:end])
                 offset = end
-            return PackedTrace.from_stream_bytes(blobs)
+            return header, PackedTrace.from_stream_bytes(blobs)
         except Exception:
             counters.corrupt_entries += 1
             self._discard(path)

@@ -145,3 +145,82 @@ class TestDataValues:
         check_data_values(l1s, llc, {7: 2}, {7: 2})
         with pytest.raises(InvariantViolation):
             check_data_values(l1s, llc, {7: 2}, {7: 1})
+
+
+class TestSwmrMoesi:
+    """MOESI audit (see docs/VERIFICATION.md): one OWNED copy may coexist
+    with SHARED readers — any OWNED+OWNED or OWNED+E/M pile-up must be
+    reported as an OWNED-state violation, not a generic SWMR failure."""
+
+    def test_owned_plus_shared_is_legal(self):
+        l1s, _, _ = make_parts()
+        l1s[0].fill(5, MesiState.OWNED, 1)
+        l1s[1].fill(5, MesiState.SHARED, 1)
+        check_swmr(l1s)
+
+    def test_owned_plus_many_shared_is_legal(self):
+        l1s, _, _ = make_parts(num_cores=4)
+        l1s[0].fill(5, MesiState.OWNED, 1)
+        for core in (1, 2, 3):
+            l1s[core].fill(5, MesiState.SHARED, 1)
+        check_swmr(l1s)
+
+    def test_owned_plus_modified_raises_owned_rule(self):
+        l1s, _, _ = make_parts()
+        l1s[0].fill(5, MesiState.OWNED, 1)
+        l1s[1].fill(5, MesiState.MODIFIED, 2)
+        with pytest.raises(InvariantViolation, match="OWNED-state rule"):
+            check_swmr(l1s)
+
+    def test_owned_plus_exclusive_raises_owned_rule(self):
+        l1s, _, _ = make_parts()
+        l1s[0].fill(5, MesiState.OWNED, 1)
+        l1s[1].fill(5, MesiState.EXCLUSIVE, 1)
+        with pytest.raises(InvariantViolation, match="OWNED-state rule"):
+            check_swmr(l1s)
+
+    def test_two_owned_raise_owned_rule(self):
+        l1s, _, _ = make_parts()
+        l1s[0].fill(5, MesiState.OWNED, 1)
+        l1s[1].fill(5, MesiState.OWNED, 1)
+        with pytest.raises(InvariantViolation, match="OWNED-state rule"):
+            check_swmr(l1s)
+
+    def test_real_moesi_controllers_produce_legal_owned_sharing(self):
+        """End-to-end: l1_controller + home produce O+S, and the checker
+        agrees it is legal (the distinguishing trace from the audit, also
+        planted in the fuzzer's seed corpus)."""
+        from repro.common.mesi import CoherenceProtocol
+        from repro.verify import RunOptions, make_fuzz_config
+        from repro.common.config import DirectoryKind
+        from repro.sim.system import build_system
+
+        config = make_fuzz_config(
+            DirectoryKind.STASH,
+            RunOptions(protocol=CoherenceProtocol.MOESI, check_every=1),
+        )
+        system = build_system(config)
+        program = [
+            (0, 0x10, True),   # M at core 0
+            (1, 0x10, False),  # downgrade to O, reader S
+            (2, 0x10, False),  # O + S + S
+        ]
+        for core, block, is_write in program:
+            system.access(core, block, is_write)
+            system.check_invariants()
+        states = {
+            l1.core_id: MesiState(l1.probe(0x10, touch=False).state)
+            for l1 in system.l1s
+            if l1.probe(0x10, touch=False) is not None
+        }
+        assert states[0] is MesiState.OWNED
+        assert states[1] is MesiState.SHARED
+        assert states[2] is MesiState.SHARED
+        # The owner's upgrade back to M must invalidate both S copies.
+        system.access(0, 0x10, True)
+        system.check_invariants()
+        assert MesiState(system.l1s[0].probe(0x10, touch=False).state) is (
+            MesiState.MODIFIED
+        )
+        assert system.l1s[1].probe(0x10, touch=False) is None
+        assert system.l1s[2].probe(0x10, touch=False) is None

@@ -153,3 +153,106 @@ def test_property_targets_superset_of_live_holders(fmt, data):
             rep.remove(core)
             live.discard(core)
     assert live.issubset(set(rep.targets()))
+
+
+class TestLimitedPointerOverflowSemantics:
+    """Pinned contract: degrade-to-broadcast is one-way until clear().
+
+    A remove() after overflow must neither resurrect precision (the
+    forgotten pointers are unrecoverable) nor underflow anything; only
+    clear() — driven by the entry's exact sharer counter reaching zero —
+    restores the precise encoding.
+    """
+
+    def overflowed(self):
+        rep = LimitedPointer(N, pointers=2)
+        for core in (1, 2, 3):
+            rep.add(core)
+        assert rep.overflowed
+        return rep
+
+    def test_remove_after_overflow_keeps_broadcast(self):
+        rep = self.overflowed()
+        rep.remove(1)
+        assert rep.overflowed
+        assert rep.targets() == list(range(N))
+
+    def test_remove_every_core_cannot_underflow(self):
+        rep = self.overflowed()
+        for _ in range(3):
+            for core in range(N):
+                rep.remove(core)
+        assert rep.overflowed
+        assert rep.ids == []
+        assert rep.targets() == list(range(N))
+
+    def test_add_after_overflow_keeps_pointer_list_empty(self):
+        rep = self.overflowed()
+        rep.add(7)
+        assert rep.ids == []
+        assert rep.targets() == list(range(N))
+
+    def test_clear_restores_precision(self):
+        rep = self.overflowed()
+        rep.clear()
+        rep.add(5)
+        assert not rep.overflowed
+        assert rep.targets() == [5]
+
+    @settings(max_examples=60)
+    @given(
+        removals=st.lists(st.integers(0, N - 1), max_size=30),
+        adds=st.lists(st.integers(0, N - 1), max_size=30),
+    )
+    def test_property_overflow_is_sticky(self, removals, adds):
+        rep = LimitedPointer(N, pointers=2)
+        for core in (1, 2, 3):
+            rep.add(core)
+        for core in removals:
+            rep.remove(core)
+        for core in adds:
+            rep.add(core)
+        assert rep.overflowed
+        assert rep.targets() == list(range(N))
+
+
+class TestCoarseVectorNonMultipleGroup:
+    """Pinned contract: a short tail group never names phantom cores and
+    storage always rounds up to whole group bits."""
+
+    def test_tail_group_targets_are_clamped(self):
+        rep = CoarseVector(6, group=4)
+        rep.add(5)  # tail group {4, 5}
+        assert sorted(rep.targets()) == [4, 5]
+
+    def test_full_plus_tail_group(self):
+        rep = CoarseVector(6, group=4)
+        rep.add(0)
+        rep.add(4)
+        assert sorted(rep.targets()) == [0, 1, 2, 3, 4, 5]
+
+    def test_single_core_tail(self):
+        rep = CoarseVector(9, group=4)
+        rep.add(8)
+        assert rep.targets() == [8]
+
+    @settings(max_examples=60)
+    @given(
+        num_cores=st.integers(1, 17),
+        group=st.integers(1, 6),
+        cores=st.data(),
+    )
+    def test_property_targets_never_exceed_num_cores(self, num_cores, group, cores):
+        rep = CoarseVector(num_cores, group=group)
+        for core in cores.draw(
+            st.lists(st.integers(0, num_cores - 1), max_size=20)
+        ):
+            rep.add(core)
+        assert all(0 <= t < num_cores for t in rep.targets())
+
+    @pytest.mark.parametrize(
+        "num_cores,group,bits",
+        [(6, 4, 2), (5, 4, 2), (4, 4, 1), (9, 2, 5), (1, 4, 1), (17, 4, 5)],
+    )
+    def test_storage_bits_round_up(self, num_cores, group, bits):
+        assert CoarseVector.storage_bits(num_cores, group=group) == bits

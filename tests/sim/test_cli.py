@@ -88,14 +88,51 @@ class TestCommands:
 
 class TestFuzz:
     def test_fuzz_clean_run(self, capsys):
-        code = main(["fuzz", "--rounds", "2", "--length", "80", "--kinds",
+        code = main(["fuzz", "--ops", "80", "--seeds", "2", "--kinds",
                      "stash", "sparse"])
         assert code == 0
-        assert "all invariants held" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "all organizations agree with ideal" in out
+        assert "all invariants held" in out
 
     def test_fuzz_covers_all_kinds_by_default(self):
         args = build_parser().parse_args(["fuzz"])
         assert "adaptive_stash" in args.kinds and "scd" in args.kinds
+        assert "in_llc" in args.kinds and "ideal" not in args.kinds
+
+    def test_fuzz_list_faults(self, capsys):
+        assert main(["fuzz", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "drop-invalidation" in out and "stash-bit-lost" in out
+
+    def test_fuzz_injected_fault_caught_minimized_replayed(
+        self, tmp_path, capsys
+    ):
+        corpus = tmp_path / "failures"
+        code = main([
+            "fuzz", "--ops", "250", "--seeds", "2", "--kinds", "sparse",
+            "--inject-fault", "drop-invalidation", "--out-dir", str(corpus),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "reproduce with:" in err
+        cases = list(corpus.glob("*.trace"))
+        assert cases
+        # The minimized case replays to the same failure.
+        replay_code = main(["fuzz", "--replay", str(cases[0])])
+        out = capsys.readouterr().out
+        assert replay_code == 1
+        assert "reproduced:" in out
+
+    def test_fuzz_seed_corpus_replays_clean(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--seed-corpus", "--out-dir", str(tmp_path / "failures"),
+            "--seeds", "1", "--ops", "60", "--kinds", "stash",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planted seed case" in out
+        assert "seed case clean" in out
 
 
 class TestSaveAndCompare:

@@ -149,3 +149,57 @@ class TestFileIO:
         path.write_text("0,-64,R\n")
         with pytest.raises(TraceError):
             Trace.from_file(path, 1)
+
+
+class TestFlatPrograms:
+    """Single-stream global-order encoding used by the fuzz corpus."""
+
+    def test_round_trip(self):
+        from repro.sim.trace import pack_flat_program, unpack_flat_program
+
+        program = [(0, 0x10, True), (3, 0x0, False), (1, 0xABC, True)]
+        packed = pack_flat_program(program)
+        assert packed.num_cores == 1
+        assert packed.total_ops() == 3
+        assert unpack_flat_program(packed) == program
+
+    def test_preserves_global_order(self):
+        from repro.sim.trace import pack_flat_program, unpack_flat_program
+
+        program = [(core, 7, False) for core in (2, 0, 1, 0, 2)]
+        assert [op[0] for op in unpack_flat_program(pack_flat_program(program))] \
+            == [2, 0, 1, 0, 2]
+
+    def test_limits_enforced(self):
+        from repro.common.errors import TraceError
+        from repro.sim.trace import (
+            MAX_FLAT_ADDR,
+            MAX_FLAT_CORE,
+            pack_flat_program,
+        )
+
+        pack_flat_program([(MAX_FLAT_CORE, MAX_FLAT_ADDR, True)])
+        with pytest.raises(TraceError):
+            pack_flat_program([(MAX_FLAT_CORE + 1, 0, False)])
+        with pytest.raises(TraceError):
+            pack_flat_program([(0, MAX_FLAT_ADDR + 1, False)])
+        with pytest.raises(TraceError):
+            pack_flat_program([(-1, 0, False)])
+
+    def test_multi_stream_rejected(self):
+        from repro.common.errors import TraceError
+        from repro.sim.trace import PackedTrace, unpack_flat_program
+
+        with pytest.raises(TraceError):
+            unpack_flat_program(PackedTrace(2))
+
+    def test_survives_spool_round_trip(self, tmp_path):
+        from repro.sim.trace import pack_flat_program, unpack_flat_program
+        from repro.workloads.store import TraceStore
+
+        program = [(1, 0x40, True), (0, 0x40, False)]
+        spool = TraceStore(tmp_path)
+        spool.store("f" * 64, {"fuzz": {"kind": "stash"}}, pack_flat_program(program))
+        header, packed = spool.load_entry("f" * 64)
+        assert header["fuzz"] == {"kind": "stash"}
+        assert unpack_flat_program(packed) == program

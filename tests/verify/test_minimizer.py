@@ -1,0 +1,77 @@
+"""Delta-debugging minimizer: synthetic and end-to-end shrinks."""
+
+from repro.common.config import DirectoryKind
+from repro.common.rng import DeterministicRng
+from repro.verify import FAULTS, RunOptions, generate_program, minimize, run_differential
+
+
+class TestSynthetic:
+    def test_reduces_to_exact_failing_pair(self):
+        needle_a = (0, 100, True)
+        needle_b = (1, 100, False)
+        program = [(core % 4, block, False) for core, block in enumerate(range(60))]
+        program[13] = needle_a
+        program[41] = needle_b
+
+        def fails(candidate):
+            return needle_a in candidate and needle_b in candidate
+
+        minimal = minimize(program, fails)
+        assert sorted(minimal) == sorted([needle_a, needle_b])
+
+    def test_order_preserved(self):
+        program = [(0, i, False) for i in range(20)] + [(1, 5, True), (2, 6, True)]
+
+        def fails(candidate):
+            try:
+                return candidate.index((1, 5, True)) < candidate.index((2, 6, True))
+            except ValueError:
+                return False
+
+        minimal = minimize(program, fails)
+        assert minimal == [(1, 5, True), (2, 6, True)]
+
+    def test_non_failing_input_returned_unchanged(self):
+        program = [(0, 1, False)] * 5
+        assert minimize(program, lambda candidate: False) == program
+
+    def test_budget_caps_checks(self):
+        calls = []
+
+        def fails(candidate):
+            calls.append(1)
+            return True
+
+        minimize([(0, i, False) for i in range(64)], fails, max_checks=10)
+        assert len(calls) <= 10
+
+    def test_single_op_core(self):
+        needle = (2, 9, True)
+        program = [(0, i, False) for i in range(30)]
+        program.insert(11, needle)
+        minimal = minimize(program, lambda candidate: needle in candidate)
+        assert minimal == [needle]
+
+
+class TestEndToEnd:
+    def test_injected_fault_minimizes_small(self):
+        """Acceptance: a caught fault shrinks to <= 32 ops and still fails."""
+        options = RunOptions()
+        fault = FAULTS["drop-invalidation"]
+        kinds = [DirectoryKind.SPARSE]
+        program = generate_program("eviction_storm", 4, 300, DeterministicRng(1))
+        divergences = run_differential(
+            program, kinds=kinds, options=options, fault=fault
+        )
+        assert divergences
+        signature = divergences[0].signature
+
+        def fails(candidate):
+            again = run_differential(
+                candidate, kinds=kinds, options=options, fault=fault
+            )
+            return any(d.signature == signature for d in again)
+
+        minimal = minimize(program, fails)
+        assert len(minimal) <= 32
+        assert fails(minimal)

@@ -154,3 +154,104 @@ class TestCorruption:
         path.rename(other)
         assert store.TraceStore(tmp_path).load("0" * 64) is None
         assert not other.exists()
+
+
+class TestLoadHardening:
+    """Satellite hardening: zero-length headers, truncated headers and
+    counts/payload disagreement must all regenerate, never raise."""
+
+    def spool_path(self, tmp_path):
+        get(tmp_path)
+        store.clear_memo()
+        return store.TraceStore(tmp_path).path_for(store.trace_key(**ARGS))
+
+    def rewrite_header(self, path, mutate):
+        blob = path.read_bytes()
+        (header_len,) = struct.unpack_from("<I", blob, 8)
+        header = json.loads(blob[12:12 + header_len])
+        mutate(header)
+        new_header = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        path.write_bytes(
+            store.MAGIC + struct.pack("<I", len(new_header)) + new_header
+            + blob[12 + header_len:]
+        )
+
+    def test_zero_length_header_regenerates(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        payload = path.read_bytes()
+        (header_len,) = struct.unpack_from("<I", payload, 8)
+        path.write_bytes(
+            store.MAGIC + struct.pack("<I", 0) + payload[12 + header_len:]
+        )
+        again = get(tmp_path)
+        assert store.counters.corrupt_entries == 1
+        assert store.counters.generated == 2
+        assert again.total_ops() == ARGS["num_cores"] * ARGS["ops_per_core"]
+
+    def test_header_longer_than_file_regenerates(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(store.MAGIC + struct.pack("<I", len(blob) * 2) + blob[12:])
+        assert store.TraceStore(tmp_path).load(store.trace_key(**ARGS)) is None
+        assert store.counters.corrupt_entries == 1
+        assert not path.exists()
+
+    def test_counts_payload_disagreement_regenerates(self, tmp_path):
+        path = self.spool_path(tmp_path)
+
+        def bump(header):
+            header["counts"] = [c + 1 for c in header["counts"]]
+
+        self.rewrite_header(path, bump)
+        again = get(tmp_path)
+        assert store.counters.corrupt_entries == 1
+        assert store.counters.generated == 2
+        assert again.total_ops() == ARGS["num_cores"] * ARGS["ops_per_core"]
+
+    def test_non_list_counts_regenerates(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        self.rewrite_header(path, lambda h: h.__setitem__("counts", "nope"))
+        assert store.TraceStore(tmp_path).load(store.trace_key(**ARGS)) is None
+        assert store.counters.corrupt_entries == 1
+
+    def test_negative_counts_regenerates(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        self.rewrite_header(
+            path, lambda h: h.__setitem__("counts", [-1] * len(h["counts"]))
+        )
+        assert store.TraceStore(tmp_path).load(store.trace_key(**ARGS)) is None
+        assert store.counters.corrupt_entries == 1
+
+    def test_non_dict_header_regenerates(self, tmp_path):
+        path = self.spool_path(tmp_path)
+        body = json.dumps([1, 2, 3]).encode()
+        path.write_bytes(store.MAGIC + struct.pack("<I", len(body)) + body)
+        assert store.TraceStore(tmp_path).load(store.trace_key(**ARGS)) is None
+        assert store.counters.corrupt_entries == 1
+
+
+class TestLoadEntry:
+    def test_load_entry_returns_header_and_trace(self, tmp_path):
+        get(tmp_path)
+        store.clear_memo()
+        key = store.trace_key(**ARGS)
+        entry = store.TraceStore(tmp_path).load_entry(key)
+        assert entry is not None
+        header, packed = entry
+        assert header["key"] == key
+        assert header["workload"] == ARGS["workload"]
+        assert packed.total_ops() == ARGS["num_cores"] * ARGS["ops_per_core"]
+
+    def test_load_entry_missing_is_none(self, tmp_path):
+        assert store.TraceStore(tmp_path).load_entry("0" * 64) is None
+
+    def test_load_entry_preserves_extra_meta(self, tmp_path):
+        from repro.sim.trace import PackedTrace
+
+        packed = PackedTrace(1)
+        packed.append(0, 7, True)
+        spool = store.TraceStore(tmp_path)
+        spool.store("k" * 64, {"custom": {"nested": 1}}, packed)
+        header, loaded = spool.load_entry("k" * 64)
+        assert header["custom"] == {"nested": 1}
+        assert loaded == packed
