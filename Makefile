@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath obs-smoke fuzz fuzz-smoke examples docs clean
+.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath bench-vector obs-smoke fuzz fuzz-smoke examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -36,6 +36,12 @@ bench-scaling: bench-runner
 # docs/PERFORMANCE.md).  Append `--smoke` by hand for a quick CI-style run.
 bench-hotpath:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_hotpath.py
+
+# Vector-engine throughput: interp vs vector accesses/sec for every
+# flat-capable directory kind (writes BENCH_vector.json; see
+# docs/PERFORMANCE.md).  Append `--smoke` by hand for a quick CI-style run.
+bench-vector:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_vector.py
 
 # Traced + sampled smoke run with structural validation of the exports
 # (mirrors the CI obs-smoke job; see docs/OBSERVABILITY.md).

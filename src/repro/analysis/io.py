@@ -84,6 +84,7 @@ def result_to_dict(result: SimulationResult) -> Dict:
         "cycles_per_core": result.cycles_per_core,
         "stats": result.stats,
         "effective_tracking_samples": result.effective_tracking_samples,
+        "engine": result.engine,
     }
 
 
@@ -99,6 +100,7 @@ def result_from_dict(data: Dict) -> SimulationResult:
         cycles_per_core=list(data["cycles_per_core"]),
         stats=dict(data["stats"]),
         effective_tracking_samples=list(data["effective_tracking_samples"]),
+        engine=data.get("engine", "interp"),
     )
 
 

@@ -90,6 +90,13 @@ class SweepPoint:
     value is the side-channel files, and serving them from cache would
     silently skip the exports.  ``cache_key`` builds its payload from
     explicit fields, so plain points keep their existing cache keys.
+
+    ``engine`` selects the execution engine (``"interp"`` or
+    ``"vector"``, see :func:`repro.sim.simulator.run_trace`).  Both
+    produce bit-identical results, but the engines are cached separately
+    (the vector engine may transparently fall back, and ``result.engine``
+    records what actually ran — serving an interp result for a vector
+    request would silently lie about that).
     """
 
     workload: str
@@ -97,11 +104,18 @@ class SweepPoint:
     ops_per_core: int = 3000
     seed: int = 1
     obs: Optional[ObsConfig] = None
+    engine: str = "interp"
 
     @property
     def memo_key(self) -> tuple:
         """Hashable in-memory memo key (the full parameterization)."""
-        return (self.workload, self.ops_per_core, self.seed, self.config)
+        return (
+            self.workload,
+            self.ops_per_core,
+            self.seed,
+            self.config,
+            self.engine,
+        )
 
     @property
     def trace_memo_key(self) -> tuple:
@@ -141,6 +155,10 @@ def cache_key(point: SweepPoint) -> str:
         "seed": point.seed,
         "config": config_to_dict(point.config),
     }
+    if point.engine != "interp":
+        # Folded in only for non-default engines so every existing interp
+        # cache entry keeps its key.
+        payload["engine"] = point.engine
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -386,7 +404,7 @@ def _compute_point(
                   "seed": point.seed}
         )
     else:
-        result = run_trace(point.config, trace)
+        result = run_trace(point.config, trace, engine=point.engine)
     return result, time.perf_counter() - start, trace_seconds
 
 
@@ -592,9 +610,12 @@ def simulate_point(
     config: SystemConfig,
     ops_per_core: int = 3000,
     seed: int = 1,
+    engine: str = "interp",
 ) -> SimulationResult:
     """Single-point convenience wrapper over :func:`run_points`."""
-    return run_points([SweepPoint(workload, config, ops_per_core, seed)])[0]
+    return run_points(
+        [SweepPoint(workload, config, ops_per_core, seed, engine=engine)]
+    )[0]
 
 
 def counters_summary() -> str:

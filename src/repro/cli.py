@@ -49,7 +49,7 @@ from .analysis.figures import render_series
 from .analysis.tables import render_kv, render_table
 from .common.config import DirectoryKind, MemoryModel
 from .common.errors import ReproError
-from .sim.simulator import Simulator
+from .sim.simulator import Simulator, run_trace
 from .sim.system import build_system
 from .sim.trace import Trace
 from .workloads.suite import build_workload, workload_names
@@ -173,9 +173,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args.cores, args.ops, seed=args.seed)
     system = build_system(config)
     observer = _attach_observer(system, args)
-    result = Simulator(
-        system, warmup_ops=args.warmup, observer=observer
-    ).run(trace)
+    if args.engine == "vector" and observer is None and not args.warmup:
+        # Engine-selected path; falls back to the interpreter
+        # transparently when the config is outside the flat model.
+        result = run_trace(config, trace, engine="vector")
+    else:
+        result = Simulator(
+            system, warmup_ops=args.warmup, observer=observer
+        ).run(trace)
     print(render_kv(config.describe().items(), title="configuration"))
     print()
     rows = [[key, value] for key, value in result.summary().items()]
@@ -253,9 +258,12 @@ def cmd_replay(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     system = build_system(config)
     observer = _attach_observer(system, args)
-    result = Simulator(
-        system, warmup_ops=args.warmup, observer=observer
-    ).run(trace)
+    if args.engine == "vector" and observer is None and not args.warmup:
+        result = run_trace(config, trace, engine="vector")
+    else:
+        result = Simulator(
+            system, warmup_ops=args.warmup, observer=observer
+        ).run(trace)
     rows = [[key, value] for key, value in result.summary().items()]
     print(render_table(["metric", "value"], rows, title=f"replay: {args.trace}"))
     _maybe_save(result, args)
@@ -289,15 +297,27 @@ def _fuzz_options_for_seed(seed: int, args: argparse.Namespace):
 
 def _fuzz_replay(path: str) -> int:
     """Replay one serialized fuzz case; report whether it reproduces."""
-    from .verify import FAULTS, load_case, run_differential
+    from .verify import (
+        ENGINE_FAULTS,
+        FAULTS,
+        load_case,
+        run_differential,
+        run_engine_differential,
+    )
     from .verify.corpus import SEED_CATEGORY
 
     case = load_case(path)
-    fault = FAULTS[case.fault] if case.fault else None
     kind = DirectoryKind(case.kind)
-    divergences = run_differential(
-        case.program, kinds=[kind], options=case.options, fault=fault
-    )
+    if case.category.startswith("engine-"):
+        fault = ENGINE_FAULTS[case.fault] if case.fault else None
+        divergences = run_engine_differential(
+            case.program, kinds=[kind], options=case.options, fault=fault
+        )
+    else:
+        fault = FAULTS[case.fault] if case.fault else None
+        divergences = run_differential(
+            case.program, kinds=[kind], options=case.options, fault=fault
+        )
     fault_note = f" fault={case.fault}" if case.fault else ""
     print(
         f"replaying {path}: kind={case.kind} category={case.category}"
@@ -333,15 +353,25 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     suite and final architectural state.  A divergence is delta-debugged
     down to a minimal program, serialized under the failure corpus and
     printed with a one-command reproduction line.  See docs/VERIFICATION.md.
+
+    ``--engine`` switches the differential axis from organizations to
+    *engines*: every program replays on the interpreter and on the vector
+    engine (:mod:`repro.sim.vector`) over the flat-capable organizations,
+    and the two captures must agree bit-for-bit, statistics included.
     """
+    import dataclasses
+
     from .common.rng import DeterministicRng
     from .verify import (
+        ENGINE_FAULTS,
+        ENGINE_KINDS,
         FAULTS,
         FailureCase,
         generate_program,
         minimize,
         repro_command,
         run_differential,
+        run_engine_differential,
         save_case,
         seed_corpus,
     )
@@ -350,6 +380,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.list_faults:
         for name in sorted(FAULTS):
             print(f"{name}: {FAULTS[name].description}")
+        for name in sorted(ENGINE_FAULTS):
+            print(f"{name} (--engine): {ENGINE_FAULTS[name].description}")
         return 0
     if args.replay:
         return _fuzz_replay(args.replay)
@@ -362,20 +394,34 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             if code:
                 return code
 
-    kinds = [DirectoryKind(k) for k in args.kinds]
+    engine_mode = bool(args.engine)
+    if engine_mode:
+        kinds = list(ENGINE_KINDS)
+        fault = ENGINE_FAULTS[args.inject_fault] if args.inject_fault else None
+    else:
+        kinds = [DirectoryKind(k) for k in args.kinds]
+        fault = FAULTS[args.inject_fault] if args.inject_fault else None
     profiles = args.profiles or list(PROFILES)
-    fault = FAULTS[args.inject_fault] if args.inject_fault else None
     failures = 0
     for offset in range(args.seeds):
         seed = args.seed_base + offset
         options = _fuzz_options_for_seed(seed, args)
+        if engine_mode:
+            # Discovery presence filters have no flat view; zero the knob
+            # so every seed actually exercises the vector engine.
+            options = dataclasses.replace(options, discovery_filter_slots=0)
         profile = profiles[offset % len(profiles)]
         program = generate_program(
             profile, options.num_cores, args.ops, DeterministicRng(seed)
         )
-        divergences = run_differential(
-            program, kinds=kinds, options=options, fault=fault
-        )
+        if engine_mode:
+            divergences = run_engine_differential(
+                program, kinds=kinds, options=options, fault=fault
+            )
+        else:
+            divergences = run_differential(
+                program, kinds=kinds, options=options, fault=fault
+            )
         if not divergences:
             continue
         failures += len(divergences)
@@ -391,10 +437,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             signature = divergence.signature
             kind = DirectoryKind(divergence.kind) if divergence.kind != "ideal" \
                 else DirectoryKind.IDEAL
-            replay_kinds = kinds if kind is DirectoryKind.IDEAL else [kind]
+            if engine_mode:
+                replay_kinds = [kind]
+            else:
+                replay_kinds = kinds if kind is DirectoryKind.IDEAL else [kind]
+            runner = run_engine_differential if engine_mode else run_differential
 
             def _still_fails(candidate) -> bool:
-                again = run_differential(
+                again = runner(
                     candidate, kinds=replay_kinds, options=options, fault=fault
                 )
                 return any(d.signature == signature for d in again)
@@ -424,11 +474,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    print(
-        f"fuzzed {args.seeds} programs x {args.ops} ops "
-        f"({len(kinds)} organizations, {checked} differential runs): "
-        "all organizations agree with ideal; all invariants held"
-    )
+    if engine_mode:
+        print(
+            f"fuzzed {args.seeds} programs x {args.ops} ops "
+            f"({len(kinds)} organizations, {checked} engine-differential "
+            "runs): vector engine agrees with the interpreter bit-for-bit"
+        )
+    else:
+        print(
+            f"fuzzed {args.seeds} programs x {args.ops} ops "
+            f"({len(kinds)} organizations, {checked} differential runs): "
+            "all organizations agree with ideal; all invariants held"
+        )
     return 0
 
 
@@ -526,6 +583,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dram", action="store_true", help="use the banked DRAM model")
     run.add_argument("--moesi", action="store_true", help="run MOESI instead of MESI")
     run.add_argument(
+        "--engine", default="interp", choices=["interp", "vector"],
+        help="execution engine (vector = flat table-driven engine; "
+             "bit-identical results, falls back when unsupported)",
+    )
+    run.add_argument(
         "--check-invariants", nargs="?", const=1024, type=int, default=0,
         metavar="N",
         help="run the invariant suite every N ops (bare flag = 1024)",
@@ -570,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=1)
     replay.add_argument("--warmup", type=int, default=0)
     replay.add_argument(
+        "--engine", default="interp", choices=["interp", "vector"],
+        help="execution engine (vector = flat table-driven engine)",
+    )
+    replay.add_argument(
         "--check-invariants", nargs="?", const=1024, type=int, default=0,
         metavar="N",
         help="run the invariant suite every N ops (bare flag = 1024)",
@@ -607,6 +673,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--minimize", action=argparse.BooleanOptionalAction, default=True,
         help="delta-debug failing programs before serializing them",
+    )
+    fuzz.add_argument(
+        "--engine", action="store_true",
+        help="diff the vector engine against the interpreter (bit-exact, "
+             "statistics included) instead of organizations against IDEAL",
     )
     fuzz.add_argument(
         "--inject-fault", default=None, metavar="NAME",

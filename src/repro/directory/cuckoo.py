@@ -64,6 +64,18 @@ class CuckooDirectory(Directory):
         # Candidate slots are recomputed on every lookup/relocation step;
         # workloads reuse addresses heavily, so memoize per address.
         self._slot_cache: dict = {}
+        # Position index: addr -> (way, slot, entry).  Lookups and
+        # deallocations are O(1) dict probes instead of d-way table scans;
+        # the displacement chain keeps it current (placements overwrite,
+        # the final eviction pops).
+        self._where: dict = {}
+        # Displacement-way picks draw one uniform way per chain step; the
+        # bound getrandbits plus the rejection loop below reproduce
+        # random.Random.randint(0, d-1) bit-for-bit without its three stdlib
+        # call frames.  Bound lazily (the underlying Random materializes on
+        # first draw, matching DeterministicRng's laziness).
+        self._rand_bits = self.d.bit_length()
+        self._getrandbits = None
         self._c_hits = None
         self._c_misses = None
         # Validated sharer-rep template; allocations clone it via fresh().
@@ -92,60 +104,107 @@ class CuckooDirectory(Directory):
     # -- Directory interface ------------------------------------------------------
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:
-        slots = self._slots(addr)
-        tables = self._tables
-        for way in range(self.d):
-            entry = tables[way][slots[way]]
-            if entry is not None and entry.addr == addr:
-                if touch:
-                    cell = self._c_hits
-                    if cell is None:
-                        cell = self._c_hits = self.stats.counter("hits")
-                    cell.value += 1
-                return entry
+        pos = self._where.get(addr)
+        if pos is None:
+            if touch:
+                cell = self._c_misses
+                if cell is None:
+                    cell = self._c_misses = self.stats.counter("misses")
+                cell.value += 1
+            return None
         if touch:
-            cell = self._c_misses
+            cell = self._c_hits
             if cell is None:
-                cell = self._c_misses = self.stats.counter("misses")
+                cell = self._c_hits = self.stats.counter("hits")
             cell.value += 1
-        return None
+        return pos[2]
 
     def allocate(self, addr: int) -> AllocationResult:
-        if self.lookup(addr, touch=False) is not None:
+        if addr in self._where:
             raise DirectoryError(f"block {addr:#x} is already tracked")
 
         entry = DirectoryEntry(addr, self._rep_template.fresh())
         self.stats.add("allocations")
 
+        # The displacement chain is the cuckoo directory's hot loop (several
+        # steps per conflicting allocation), so the per-step work is flat:
+        # candidate slots are fetched from the memo once per homeless entry
+        # and shared by the free-slot scan and the displacement pick (the
+        # method-based version recomputed them per candidate way), and the
+        # random way draw inlines randint's getrandbits rejection loop.
+        tables = self._tables
+        where = self._where
+        slot_cache = self._slot_cache
+        d = self.d
+        spw = self.slots_per_way
+        rand_bits = self._rand_bits
+        getrandbits = self._getrandbits
+        if getrandbits is None:
+            rng = self._rng
+            getrandbits = self._getrandbits = (
+                rng._rng or rng._materialize()
+            ).getrandbits
+        relocations = 0
+
         homeless = entry
         last_way = -1  # way we just placed into; don't bounce straight back
         for _step in range(self.max_path + 1):
+            haddr = homeless.addr
+            slots = slot_cache.get(haddr)
+            if slots is None:
+                slots = tuple(
+                    stride_hash(haddr, way + 1) % spw for way in range(d)
+                )
+                slot_cache[haddr] = slots
             # Any free candidate slot?
-            slots = self._slots(homeless.addr)
-            for way in range(self.d):
+            for way in range(d):
                 slot = slots[way]
-                if self._tables[way][slot] is None:
-                    self._tables[way][slot] = homeless
+                if tables[way][slot] is None:
+                    tables[way][slot] = homeless
+                    where[haddr] = (way, slot, homeless)
                     if homeless is not entry:
-                        self.stats.add("relocations")
+                        relocations += 1
+                    if relocations:
+                        self.stats.add("relocations", relocations)
                     return AllocationResult(entry, eviction=None)
             # All candidates full: displace one resident and recurse.  Never
             # displace the entry being inserted (its candidate slots can
             # collide with the homeless entry's), and avoid bouncing the
-            # displaced entry straight back into the slot it came from.
-            way = self._pick_displacement_way(homeless, entry, last_way)
-            if way is None:
+            # displaced entry straight back into the slot it came from
+            # (same preference order as _pick_displacement_way).
+            r = getrandbits(rand_bits)
+            while r >= d:
+                r = getrandbits(rand_bits)
+            pick = -1
+            fallback = -1
+            for offset in range(d):
+                way = r + offset
+                if way >= d:
+                    way -= d
+                if tables[way][slots[way]] is entry:
+                    continue
+                if way == last_way:
+                    fallback = way
+                    continue
+                pick = way
+                break
+            if pick < 0:
+                pick = fallback
+            if pick < 0:
                 break  # only the new entry's slot remains: stop relocating
-            slot = self._slot(homeless.addr, way)
-            displaced = self._tables[way][slot]
-            assert displaced is not None and displaced is not entry
-            self._tables[way][slot] = homeless
+            slot = slots[pick]
+            displaced = tables[pick][slot]
+            tables[pick][slot] = homeless
+            where[haddr] = (pick, slot, homeless)
             if homeless is not entry:
-                self.stats.add("relocations")
+                relocations += 1
             homeless = displaced
-            last_way = way
+            last_way = pick
 
         # Chain exhausted: the still-homeless entry is evicted conventionally.
+        if relocations:
+            self.stats.add("relocations", relocations)
+        where.pop(homeless.addr, None)
         self.stats.add("evictions")
         self.stats.add("evictions_invalidate")
         return AllocationResult(entry, Eviction(homeless, EvictionAction.INVALIDATE))
@@ -175,13 +234,10 @@ class CuckooDirectory(Directory):
         return fallback
 
     def deallocate(self, addr: int) -> None:
-        for way in range(self.d):
-            slot = self._slot(addr, way)
-            entry = self._tables[way][slot]
-            if entry is not None and entry.addr == addr:
-                self._tables[way][slot] = None
-                self.stats.add("deallocations")
-                return
+        pos = self._where.pop(addr, None)
+        if pos is not None:
+            self._tables[pos[0]][pos[1]] = None
+            self.stats.add("deallocations")
 
     # -- inspection ------------------------------------------------------------------
 

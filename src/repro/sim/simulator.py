@@ -250,6 +250,7 @@ def run_trace(
     trace: Union[Trace, PackedTrace],
     system: Optional[CoherentSystem] = None,
     observer=None,
+    engine: str = "interp",
 ) -> SimulationResult:
     """Convenience one-shot: build the system (unless given) and run.
 
@@ -257,7 +258,32 @@ def run_trace(
     ``trace`` may be packed or unpacked (results are identical).
     ``observer`` is a pre-attached :class:`repro.obs.Observer` (it must wrap
     the same ``system`` when one is passed).
+
+    ``engine`` selects the execution engine: ``"interp"`` (the controller
+    interpreter above) or ``"vector"`` (the flat table-driven engine of
+    :mod:`repro.sim.vector`).  The two produce bit-identical results;
+    ``"vector"`` falls back to the interpreter transparently when the
+    configuration is outside the flat model (see
+    :func:`repro.sim.vector.vector_supports`), when a pre-built ``system``
+    or ``observer`` needs the live objects, or when the trace cannot be
+    packed.  ``result.engine`` records which engine actually ran.
     """
+    if engine not in ("interp", "vector"):
+        raise TraceError(f"unknown engine {engine!r} (expected 'interp' or 'vector')")
+    if engine == "vector" and system is None and observer is None:
+        from .vector import VectorEngine, vector_supports
+
+        if vector_supports(config) is None:
+            packed: Optional[PackedTrace]
+            if isinstance(trace, PackedTrace):
+                packed = trace
+            else:
+                try:
+                    packed = PackedTrace.from_trace(trace)
+                except TraceError:
+                    packed = None  # e.g. addresses beyond the packed range
+            if packed is not None:
+                return VectorEngine(config).run(packed)
     if system is None:
         system = build_system(config)
     return Simulator(system, observer=observer).run(trace)

@@ -17,14 +17,19 @@ Entry point: ``repro fuzz`` (see :mod:`repro.cli`) or the library calls::
 
 from .differ import (
     DEFAULT_FUZZ_KINDS,
+    ENGINE_FAULTS,
+    ENGINE_KINDS,
     FAULTS,
     Divergence,
     ExecutionResult,
     RunOptions,
     check_stat_sanity,
+    diff_engine_results,
     execute_program,
+    execute_program_vector,
     make_fuzz_config,
     run_differential,
+    run_engine_differential,
 )
 from .corpus import (
     FailureCase,
@@ -41,6 +46,8 @@ from .minimizer import minimize
 __all__ = [
     "DEFAULT_FUZZ_KINDS",
     "Divergence",
+    "ENGINE_FAULTS",
+    "ENGINE_KINDS",
     "ExecutionResult",
     "FAULTS",
     "FailureCase",
@@ -49,13 +56,16 @@ __all__ = [
     "case_key",
     "check_stat_sanity",
     "default_failure_root",
+    "diff_engine_results",
     "execute_program",
+    "execute_program_vector",
     "generate_program",
     "load_case",
     "make_fuzz_config",
     "minimize",
     "repro_command",
     "run_differential",
+    "run_engine_differential",
     "save_case",
     "seed_corpus",
 ]

@@ -30,6 +30,14 @@ built system (a lost invalidation message, a dropped stash bit, a sharer
 representation that violates its encoding contract).  They exist to prove
 the harness *can* catch bugs — ``repro fuzz --inject-fault`` wires them
 into every non-ideal system while the reference stays clean.
+
+A second axis, :func:`run_engine_differential`, diffs *engines* instead
+of organizations: the same program replays on the interpreter and on the
+vector engine (:mod:`repro.sim.vector`) over the identical configuration,
+and the two captures must agree bit-for-bit — including the complete
+statistics tree, which the organization differ deliberately does not
+compare.  :data:`ENGINE_FAULTS` corrupts the vector engine's derived
+transition tables to prove this axis catches table-generation bugs.
 """
 
 from __future__ import annotations
@@ -47,15 +55,22 @@ from ..common.config import (
 from ..common.errors import ReproError, InvariantViolation
 from ..common.mesi import CoherenceProtocol
 from ..coherence.protocol import CoherentSystem
+from ..coherence.tables import L1Tables, corrupt_l1_tables, l1_tables
 from ..directory.sharers import CoarseVector, LimitedPointer
 from ..sim.system import build_system
 from ..sim.trace import FlatOp
+from ..sim.vector import flat_machine, vector_supports
 
 #: Organizations the fuzzer exercises by default: everything but the
 #: reference itself.
 DEFAULT_FUZZ_KINDS = tuple(
     kind for kind in DirectoryKind if kind is not DirectoryKind.IDEAL
 )
+
+#: Organizations the engine differential exercises: the flat engine's
+#: supported kinds, *including* IDEAL (here the interpreter — not the
+#: ideal directory — is the reference, so IDEAL is a real candidate).
+ENGINE_KINDS = (DirectoryKind.SPARSE, DirectoryKind.IDEAL, DirectoryKind.STASH)
 
 
 @dataclass(frozen=True)
@@ -243,6 +258,29 @@ FAULTS: Dict[str, FaultSpec] = {
             "coarse-unclamped",
             "CoarseVector.targets() names nonexistent tail-group cores",
             _inject_coarse_unclamped,
+        ),
+    )
+}
+
+
+def _corrupt_e_write_cell(tables: L1Tables) -> L1Tables:
+    # Cell 5 = (EXCLUSIVE, write): the silent E->M upgrade becomes a plain
+    # read hit, so the vector run loses a version mint the interpreter
+    # performs — the signature of a mis-generated table.
+    return corrupt_l1_tables(tables, cell=5)
+
+
+#: Engine-mode faults (``repro fuzz --engine --inject-fault <name>``).
+#: Unlike :data:`FAULTS` these do not mutate a built system: ``inject``
+#: maps the derived :class:`L1Tables` to a corrupted copy handed to the
+#: vector side only, while the interpreter reference stays clean.
+ENGINE_FAULTS: Dict[str, FaultSpec] = {
+    spec.name: spec
+    for spec in (
+        FaultSpec(
+            "table-corrupt",
+            "flip the (EXCLUSIVE, write) cell of the derived L1 action table",
+            _corrupt_e_write_cell,
         ),
     )
 }
@@ -462,6 +500,144 @@ def run_differential(
             fault=this_fault,
         )
         divergence = diff_results(reference, candidate, len(program))
+        if divergence is not None:
+            divergences.append(divergence)
+    return divergences
+
+
+# -- engine differential: interpreter vs vector engine ----------------------------
+
+
+def execute_program_vector(
+    program: Sequence[FlatOp],
+    config: SystemConfig,
+    *,
+    tables: Optional[L1Tables] = None,
+) -> ExecutionResult:
+    """Replay one flat program op-by-op on the vector engine's flat machine.
+
+    The capture mirrors :func:`execute_program` exactly — per-op held
+    version, committed-version map, flattened statistics — so the two
+    results can be compared field-for-field.  ``tables`` substitutes the
+    derived transition tables (fault injection); the flat machine has no
+    invariant walker, so only crashes and the captured state can diverge.
+    """
+    result = ExecutionResult(kind=config.directory.kind)
+    index = -1
+    try:
+        machine = flat_machine(config, tables=tables)
+        versions = result.versions
+        access = machine.access
+        held = machine.held_version
+        for index, (core, block, is_write) in enumerate(program):
+            access(core, block, 1 if is_write else 0)
+            versions.append(held(core, block))
+        result.final_versions = dict(machine.latest_version)
+        result.stats = machine.flat_stats()
+    except (ReproError, IndexError, KeyError, AssertionError) as exc:
+        result.error_category = "crash"
+        result.error_detail = f"{type(exc).__name__}: {exc}"
+        result.error_op = index
+    return result
+
+
+def diff_engine_results(
+    reference: ExecutionResult, candidate: ExecutionResult, num_ops: int
+) -> Optional[Divergence]:
+    """First disagreement between an interpreter and a vector replay.
+
+    Unlike :func:`diff_results` (which tolerates latency and traffic
+    differences between *organizations*), the two engines model the same
+    organization and must agree **bit-for-bit**: observed versions, the
+    committed-version map, and the complete statistics tree.  Categories
+    are prefixed ``engine-`` so failure corpus signatures stay disjoint
+    from organization-vs-IDEAL ones.
+    """
+    kind = reference.kind.value
+    if not reference.ok:
+        return Divergence(
+            kind,
+            "engine-crash",
+            f"interpreter reference failed: {reference.error_detail}",
+            reference.error_op,
+        )
+    if not candidate.ok:
+        return Divergence(
+            kind,
+            "engine-crash",
+            candidate.error_detail or "unknown failure",
+            candidate.error_op,
+        )
+    for index, (want, got) in enumerate(
+        zip(reference.versions, candidate.versions)
+    ):
+        if want != got:
+            return Divergence(
+                kind,
+                "engine-value",
+                f"vector observed version {got}, interpreter observed {want}",
+                index,
+            )
+    if candidate.final_versions != reference.final_versions:
+        keys = set(reference.final_versions) | set(candidate.final_versions)
+        diffs = [
+            f"{addr:#x}: interp={reference.final_versions.get(addr)} "
+            f"vector={candidate.final_versions.get(addr)}"
+            for addr in sorted(keys)
+            if reference.final_versions.get(addr)
+            != candidate.final_versions.get(addr)
+        ]
+        return Divergence(
+            kind,
+            "engine-final-state",
+            "committed versions differ: " + "; ".join(diffs[:4]),
+        )
+    if candidate.stats != reference.stats:
+        keys = set(reference.stats) | set(candidate.stats)
+        diffs = [
+            f"{name}: interp={reference.stats.get(name)} "
+            f"vector={candidate.stats.get(name)}"
+            for name in sorted(keys)
+            if reference.stats.get(name) != candidate.stats.get(name)
+        ]
+        return Divergence(
+            kind, "engine-stats", "stat trees differ: " + "; ".join(diffs[:4])
+        )
+    broken = check_stat_sanity(candidate, num_ops)
+    if broken is not None:
+        return Divergence(kind, "engine-stats", broken)
+    return None
+
+
+def run_engine_differential(
+    program: Sequence[FlatOp],
+    *,
+    kinds: Sequence[DirectoryKind] = ENGINE_KINDS,
+    options: RunOptions = RunOptions(),
+    fault: Optional[FaultSpec] = None,
+) -> List[Divergence]:
+    """Run the vector engine against the interpreter on one program.
+
+    For every kind in ``kinds`` the flat engine supports (the rest are
+    skipped — they have no flat view to compare), the identical global
+    operation order replays on both engines over the same tiny fuzz
+    configuration and the captures must match bit-for-bit.  ``fault``
+    (from :data:`ENGINE_FAULTS`) corrupts the transition tables handed to
+    the vector side only.  Empty result = the engines agree everywhere.
+    """
+    divergences: List[Divergence] = []
+    for kind in kinds:
+        config = make_fuzz_config(kind, options)
+        if vector_supports(config) is not None:
+            continue
+        reference = execute_program(
+            program, config, check_every=options.check_every
+        )
+        tables = None
+        if fault is not None:
+            tables = fault.inject(l1_tables(config.protocol))
+        candidate = execute_program_vector(program, config, tables=tables)
+        divergence = diff_engine_results(reference, candidate, len(program))
         if divergence is not None:
             divergences.append(divergence)
     return divergences

@@ -124,6 +124,38 @@ class TestFuzz:
         assert replay_code == 1
         assert "reproduced:" in out
 
+    def test_fuzz_engine_clean_run(self, capsys):
+        code = main(["fuzz", "--engine", "--ops", "80", "--seeds", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine-differential" in out
+        assert "agrees with the interpreter bit-for-bit" in out
+
+    def test_fuzz_engine_fault_caught_minimized_replayed(
+        self, tmp_path, capsys
+    ):
+        corpus = tmp_path / "failures"
+        code = main([
+            "fuzz", "--engine", "--ops", "300", "--seeds", "3",
+            "--profiles", "mixed", "--inject-fault", "table-corrupt",
+            "--out-dir", str(corpus),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "engine-" in err
+        cases = list(corpus.glob("*.trace"))
+        assert cases
+        replay_code = main(["fuzz", "--replay", str(cases[0])])
+        out = capsys.readouterr().out
+        assert replay_code == 1
+        assert "reproduced:" in out
+        assert "engine-" in out
+
+    def test_fuzz_list_faults_includes_engine_faults(self, capsys):
+        assert main(["fuzz", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "table-corrupt" in out
+
     def test_fuzz_seed_corpus_replays_clean(self, tmp_path, capsys):
         code = main([
             "fuzz", "--seed-corpus", "--out-dir", str(tmp_path / "failures"),
