@@ -28,8 +28,11 @@ quick-bench:
 bench-runner:
 	$(PYTHON) -m pytest benchmarks/bench_runner_scaling.py --benchmark-only
 
-# Back-compat alias for bench-runner.
-bench-scaling: bench-runner
+# Weak-scaling sweep: vector vs bank-parallel engine throughput and
+# directory bytes/core at 16/64/256/1024 cores (writes BENCH_scaling.json;
+# see docs/PERFORMANCE.md).  Append `--smoke` by hand for a quick CI run.
+bench-scaling:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scaling.py
 
 # Hot-path throughput: accesses/sec per directory kind vs the frozen
 # pre-overhaul baseline (writes BENCH_hotpath.json; see

@@ -59,8 +59,18 @@ QUICK_WORKLOADS: List[str] = ["blackscholes-like", "canneal-like", "mix"]
 #: Default per-core trace length (kept modest: pure-Python simulation).
 DEFAULT_OPS: int = 3000
 
-#: Mesh shapes for supported core counts.
-MESH_SHAPES: Dict[int, Tuple[int, int]] = {4: (2, 2), 8: (4, 2), 16: (4, 4), 32: (8, 4), 64: (8, 8)}
+#: Mesh shapes for supported core counts (to 1024 for the scaling study).
+MESH_SHAPES: Dict[int, Tuple[int, int]] = {
+    4: (2, 2),
+    8: (4, 2),
+    16: (4, 4),
+    32: (8, 4),
+    64: (8, 8),
+    128: (16, 8),
+    256: (16, 16),
+    512: (32, 16),
+    1024: (32, 32),
+}
 
 
 @dataclass

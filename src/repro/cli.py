@@ -173,10 +173,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     trace = build_workload(args.workload, args.cores, args.ops, seed=args.seed)
     system = build_system(config)
     observer = _attach_observer(system, args)
-    if args.engine == "vector" and observer is None and not args.warmup:
+    if args.engine != "interp" and observer is None and not args.warmup:
         # Engine-selected path; falls back to the interpreter
         # transparently when the config is outside the flat model.
-        result = run_trace(config, trace, engine="vector")
+        result = run_trace(
+            config, trace, engine=args.engine,
+            epoch_ops=args.epoch_batch, engine_workers=args.engine_workers,
+        )
     else:
         result = Simulator(
             system, warmup_ops=args.warmup, observer=observer
@@ -258,8 +261,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     system = build_system(config)
     observer = _attach_observer(system, args)
-    if args.engine == "vector" and observer is None and not args.warmup:
-        result = run_trace(config, trace, engine="vector")
+    if args.engine != "interp" and observer is None and not args.warmup:
+        result = run_trace(
+            config, trace, engine=args.engine,
+            epoch_ops=args.epoch_batch, engine_workers=args.engine_workers,
+        )
     else:
         result = Simulator(
             system, warmup_ops=args.warmup, observer=observer
@@ -303,12 +309,18 @@ def _fuzz_replay(path: str) -> int:
         load_case,
         run_differential,
         run_engine_differential,
+        run_parallel_differential,
     )
     from .verify.corpus import SEED_CATEGORY
 
     case = load_case(path)
     kind = DirectoryKind(case.kind)
-    if case.category.startswith("engine-"):
+    if case.category.startswith("parallel-"):
+        fault = ENGINE_FAULTS[case.fault] if case.fault else None
+        divergences = run_parallel_differential(
+            case.program, kinds=[kind], options=case.options, fault=fault
+        )
+    elif case.category.startswith("engine-"):
         fault = ENGINE_FAULTS[case.fault] if case.fault else None
         divergences = run_engine_differential(
             case.program, kinds=[kind], options=case.options, fault=fault
@@ -355,9 +367,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     printed with a one-command reproduction line.  See docs/VERIFICATION.md.
 
     ``--engine`` switches the differential axis from organizations to
-    *engines*: every program replays on the interpreter and on the vector
-    engine (:mod:`repro.sim.vector`) over the flat-capable organizations,
-    and the two captures must agree bit-for-bit, statistics included.
+    *engines*: every program replays on the interpreter, on the vector
+    engine (:mod:`repro.sim.vector`) in flat program order, and on the
+    parallel run-length batching engine (:mod:`repro.sim.parallel`) as a
+    full per-core interleave at several scan-worker counts, over the
+    flat-capable organizations — all captures must agree bit-for-bit,
+    statistics included.
     """
     import dataclasses
 
@@ -372,6 +387,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         repro_command,
         run_differential,
         run_engine_differential,
+        run_parallel_differential,
         save_case,
         seed_corpus,
     )
@@ -418,6 +434,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             divergences = run_engine_differential(
                 program, kinds=kinds, options=options, fault=fault
             )
+            divergences += run_parallel_differential(
+                program, kinds=kinds, options=options, fault=fault
+            )
         else:
             divergences = run_differential(
                 program, kinds=kinds, options=options, fault=fault
@@ -439,9 +458,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 else DirectoryKind.IDEAL
             if engine_mode:
                 replay_kinds = [kind]
+                runner = (
+                    run_parallel_differential
+                    if divergence.category.startswith("parallel-")
+                    else run_engine_differential
+                )
             else:
                 replay_kinds = kinds if kind is DirectoryKind.IDEAL else [kind]
-            runner = run_engine_differential if engine_mode else run_differential
+                runner = run_differential
 
             def _still_fails(candidate) -> bool:
                 again = runner(
@@ -478,7 +502,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         print(
             f"fuzzed {args.seeds} programs x {args.ops} ops "
             f"({len(kinds)} organizations, {checked} engine-differential "
-            "runs): vector engine agrees with the interpreter bit-for-bit"
+            "runs): vector and parallel engines agree with the "
+            "interpreter bit-for-bit"
         )
     else:
         print(
@@ -583,9 +608,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dram", action="store_true", help="use the banked DRAM model")
     run.add_argument("--moesi", action="store_true", help="run MOESI instead of MESI")
     run.add_argument(
-        "--engine", default="interp", choices=["interp", "vector"],
-        help="execution engine (vector = flat table-driven engine; "
-             "bit-identical results, falls back when unsupported)",
+        "--engine", default="interp", choices=["interp", "vector", "parallel"],
+        help="execution engine (vector = flat table-driven engine, parallel "
+             "= run-length batching engine; bit-identical results, both fall "
+             "back when unsupported)",
+    )
+    run.add_argument(
+        "--epoch-batch", type=int, default=0, metavar="N",
+        help="fast-engine batch size: decode-epoch ops (vector) or "
+             "scan-window ops (parallel); 0 = engine default",
+    )
+    run.add_argument(
+        "--engine-workers", type=int, default=0, metavar="N",
+        help="scan worker processes for the parallel engine "
+             "(0/1 = scan in-process; results identical for any count)",
     )
     run.add_argument(
         "--check-invariants", nargs="?", const=1024, type=int, default=0,
@@ -632,8 +668,17 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=1)
     replay.add_argument("--warmup", type=int, default=0)
     replay.add_argument(
-        "--engine", default="interp", choices=["interp", "vector"],
-        help="execution engine (vector = flat table-driven engine)",
+        "--engine", default="interp", choices=["interp", "vector", "parallel"],
+        help="execution engine (vector = flat table-driven engine, "
+             "parallel = run-length batching engine)",
+    )
+    replay.add_argument(
+        "--epoch-batch", type=int, default=0, metavar="N",
+        help="fast-engine batch size in ops (0 = engine default)",
+    )
+    replay.add_argument(
+        "--engine-workers", type=int, default=0, metavar="N",
+        help="scan worker processes for the parallel engine",
     )
     replay.add_argument(
         "--check-invariants", nargs="?", const=1024, type=int, default=0,
@@ -676,8 +721,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--engine", action="store_true",
-        help="diff the vector engine against the interpreter (bit-exact, "
-             "statistics included) instead of organizations against IDEAL",
+        help="diff the vector and parallel engines against the interpreter "
+             "(bit-exact, statistics included) instead of organizations "
+             "against IDEAL",
     )
     fuzz.add_argument(
         "--inject-fault", default=None, metavar="NAME",

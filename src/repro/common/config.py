@@ -53,6 +53,8 @@ class SharerFormat(str, Enum):
     FULL_BIT_VECTOR = "full"       # one bit per core
     COARSE_VECTOR = "coarse"       # one bit per group of cores
     LIMITED_POINTER = "limited"    # a few explicit core pointers + overflow
+    HIERARCHICAL = "hier"          # SCD-style two-level: per-cluster pointers
+                                   # + sticky whole-cluster overflow (O(sqrt N))
 
 
 class StashEligibility(str, Enum):
@@ -114,6 +116,9 @@ class DirectoryConfig:
     sharer_format: SharerFormat = SharerFormat.FULL_BIT_VECTOR
     coarse_group: int = 4            # cores per bit for COARSE_VECTOR
     limited_pointers: int = 4        # pointers for LIMITED_POINTER
+    hier_cluster: int = 0            # cores per cluster for HIERARCHICAL
+                                     # (0 = auto: ceil(sqrt(num_cores)))
+    hier_pointers: int = 2           # per-cluster pointers for HIERARCHICAL
     # Stash-specific knobs (ignored by other kinds).
     stash_eligibility: StashEligibility = StashEligibility.ANY_PRIVATE
     clean_eviction_notification: bool = False  # ablation A2
@@ -133,6 +138,10 @@ class DirectoryConfig:
             raise ConfigError("coarse_group must be >= 1")
         if self.limited_pointers < 1:
             raise ConfigError("limited_pointers must be >= 1")
+        if self.hier_cluster < 0:
+            raise ConfigError("hier_cluster must be 0 (auto) or >= 1")
+        if self.hier_pointers < 1:
+            raise ConfigError("hier_pointers must be >= 1")
         if self.discovery_filter_slots < 0 or (
             self.discovery_filter_slots and not is_power_of_two(self.discovery_filter_slots)
         ):

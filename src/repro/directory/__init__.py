@@ -25,8 +25,10 @@ from .ideal import IdealDirectory
 from .sharers import (
     CoarseVector,
     FullBitVector,
+    HierarchicalRep,
     LimitedPointer,
     SharerRep,
+    hier_auto_cluster,
     make_sharer_rep,
     sharer_storage_bits,
 )
@@ -42,11 +44,13 @@ __all__ = [
     "Eviction",
     "EvictionAction",
     "FullBitVector",
+    "HierarchicalRep",
     "IdealDirectory",
     "LimitedPointer",
     "SharerRep",
     "ScdDirectory",
     "SparseDirectory",
+    "hier_auto_cluster",
     "make_directory",
     "make_sharer_rep",
     "sharer_storage_bits",

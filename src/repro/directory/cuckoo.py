@@ -84,6 +84,8 @@ class CuckooDirectory(Directory):
             num_cores,
             group=config.coarse_group,
             pointers=config.limited_pointers,
+            cluster=config.hier_cluster,
+            hier_pointers=config.hier_pointers,
         )
 
     # -- hashing ---------------------------------------------------------------

@@ -33,6 +33,8 @@ class IdealDirectory(Directory):
             num_cores,
             group=config.coarse_group,
             pointers=config.limited_pointers,
+            cluster=config.hier_cluster,
+            hier_pointers=config.hier_pointers,
         )
 
     def lookup(self, addr: int, touch: bool = True) -> Optional[DirectoryEntry]:

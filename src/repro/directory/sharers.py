@@ -11,6 +11,12 @@ classic formats:
   messages (each finds nothing and is acked empty).
 * **Limited pointers** — up to *k* explicit core ids; on overflow the entry
   degrades to broadcast-on-invalidate (the classic Dir\\ :sub:`i`\\ B scheme).
+* **Hierarchical** — SCD-style two-level encoding for many-core systems:
+  cores are grouped into clusters of ``cluster`` cores; each tracked cluster
+  holds up to ``pointers`` explicit within-cluster ids and degrades to a
+  sticky whole-cluster bit on overflow.  Storage grows with the *cluster
+  count* (O(sqrt N) bytes per entry at the auto cluster size), which is what
+  keeps 1024-core entries small (see :func:`HierarchicalRep.storage_bits`).
 
 All three keep an exact *sharer counter* alongside (a handful of bits in
 hardware, standard practice); the stash directory's private-block test reads
@@ -35,12 +41,31 @@ class SharerRep:
 
     ``num_cores`` is the system core count; implementations may hold
     format-specific parameters.
+
+    **Validation happens here, once.**  Every concrete constructor routes
+    its format parameters through ``__init__`` so a bad value fails with a
+    clear error naming the representation, no matter which path built it
+    (direct construction, :func:`make_sharer_rep`, or a sweep config).
+    ``num_cores`` that is *not* a multiple of the group/cluster size stays
+    legal by design — the tail group is simply short, and ``targets()``
+    clamps it (pinned by the property tests at N up to 1024, including
+    non-power-of-two tails).  ``fresh()`` clones only already-validated
+    templates, so it may skip these checks on the allocation path.
     """
 
-    def __init__(self, num_cores: int) -> None:
-        if num_cores < 1:
-            raise ConfigError("sharer representation needs num_cores >= 1")
+    def __init__(self, num_cores: int, **params: int) -> None:
+        name = type(self).__name__
+        if not isinstance(num_cores, int) or num_cores < 1:
+            raise ConfigError(
+                f"{name} needs num_cores >= 1, got {num_cores!r}"
+            )
         self.num_cores = num_cores
+        for key, value in params.items():
+            if not isinstance(value, int) or value < 1:
+                raise ConfigError(
+                    f"{name} needs {key} >= 1, got {value!r} "
+                    f"(num_cores={num_cores})"
+                )
 
     def add(self, core: int) -> None:
         """Record that ``core`` obtained a copy."""
@@ -125,9 +150,7 @@ class CoarseVector(SharerRep):
     __slots__ = ("num_cores", "group", "mask")
 
     def __init__(self, num_cores: int, group: int = 4) -> None:
-        super().__init__(num_cores)
-        if group < 1:
-            raise ConfigError("coarse vector group must be >= 1")
+        super().__init__(num_cores, group=group)
         self.group = group
         self.mask = 0
 
@@ -173,9 +196,7 @@ class LimitedPointer(SharerRep):
     __slots__ = ("num_cores", "pointers", "ids", "overflowed")
 
     def __init__(self, num_cores: int, pointers: int = 4) -> None:
-        super().__init__(num_cores)
-        if pointers < 1:
-            raise ConfigError("limited pointer count must be >= 1")
+        super().__init__(num_cores, pointers=pointers)
         self.pointers = pointers
         self.ids: List[int] = []
         self.overflowed = False
@@ -222,10 +243,132 @@ class LimitedPointer(SharerRep):
         return pointers * ptr_bits + 1  # +1 overflow bit
 
 
+def hier_auto_cluster(num_cores: int) -> int:
+    """Default hierarchical cluster size: ``ceil(sqrt(num_cores))``.
+
+    Balances the two levels — cluster count and within-cluster pointer
+    width both grow as sqrt(N), which is what keeps the per-entry storage
+    sub-linear (the SCD scaling argument).
+    """
+    if num_cores < 1:
+        raise ConfigError("hier_auto_cluster needs num_cores >= 1")
+    root = 1
+    while root * root < num_cores:
+        root += 1
+    return root
+
+
+class HierarchicalRep(SharerRep):
+    """SCD-style two-level sharer set: per-cluster pointers + overflow bits.
+
+    Cores are grouped into clusters of ``cluster`` consecutive ids.  Each
+    *tracked* cluster holds up to ``pointers`` exact within-cluster core
+    ids; adding one more overflows that cluster to a **sticky** coarse bit
+    (invalidations then target the whole cluster, like one CoarseVector
+    group).  Other clusters keep their precision — imprecision is local,
+    unlike :class:`LimitedPointer` where one overflow degrades the whole
+    entry to a machine-wide broadcast.
+
+    ``remove`` clears a pointer exactly but cannot un-overflow a cluster
+    (which cores the cluster named is unrecoverable, same argument as the
+    limited-pointer overflow bit); precision returns via ``clear``.
+
+    ``cluster=0`` auto-sizes to ``ceil(sqrt(num_cores))``; the tail cluster
+    is short when ``cluster`` does not divide ``num_cores`` and
+    ``targets()`` clamps it, exactly like the coarse tail group.
+    """
+
+    __slots__ = ("num_cores", "cluster", "pointers", "ids", "ovf")
+
+    def __init__(self, num_cores: int, cluster: int = 0, pointers: int = 2) -> None:
+        if cluster == 0:
+            cluster = hier_auto_cluster(max(num_cores, 1))
+        super().__init__(num_cores, cluster=cluster, pointers=pointers)
+        self.cluster = cluster
+        self.pointers = pointers
+        # cluster index -> exact core ids (absent = untracked or overflowed).
+        self.ids: Dict[int, List[int]] = {}
+        self.ovf = 0  # bitmask of overflowed clusters
+
+    def add(self, core: int) -> None:
+        c = core // self.cluster
+        if self.ovf & (1 << c):
+            return
+        ids = self.ids.get(c)
+        if ids is None:
+            self.ids[c] = [core]
+            return
+        if core in ids:
+            return
+        if len(ids) < self.pointers:
+            ids.append(core)
+        else:
+            self.ovf |= 1 << c
+            del self.ids[c]
+
+    def remove(self, core: int) -> None:
+        # Exact within a precise cluster; a sticky overflowed cluster
+        # cannot prove itself empty (same reasoning as LimitedPointer).
+        c = core // self.cluster
+        if self.ovf & (1 << c):
+            return
+        ids = self.ids.get(c)
+        if ids is not None and core in ids:
+            ids.remove(core)
+            if not ids:
+                del self.ids[c]
+
+    def clear(self) -> None:
+        self.ids.clear()
+        self.ovf = 0
+
+    def targets(self) -> List[int]:
+        # Ascending cluster order, pointer insertion order within a precise
+        # cluster; the tail cluster is clamped to existing cores.
+        result: List[int] = []
+        cluster = self.cluster
+        n = self.num_cores
+        num_clusters = (n + cluster - 1) // cluster
+        ids = self.ids
+        ovf = self.ovf
+        for c in range(num_clusters):
+            if ovf & (1 << c):
+                start = c * cluster
+                result.extend(range(start, min(start + cluster, n)))
+            else:
+                got = ids.get(c)
+                if got:
+                    result.extend(got)
+        return result
+
+    def fresh(self) -> "HierarchicalRep":
+        rep = HierarchicalRep.__new__(HierarchicalRep)
+        rep.num_cores = self.num_cores
+        rep.cluster = self.cluster
+        rep.pointers = self.pointers
+        rep.ids = {}
+        rep.ovf = 0
+        return rep
+
+    @staticmethod
+    def storage_bits(num_cores: int, **params: int) -> int:
+        cluster = params.get("cluster", 0) or hier_auto_cluster(num_cores)
+        # ``hier_pointers`` wins when both are given (``pointers`` names the
+        # limited-pointer budget in shared parameter dicts).
+        pointers = params.get("hier_pointers", params.get("pointers", 2))
+        num_clusters = (num_cores + cluster - 1) // cluster
+        ptr_bits = max(1, (cluster - 1).bit_length())
+        # Per cluster: a valid bit, an overflow bit and the pointer file.
+        return num_clusters * (2 + pointers * ptr_bits)
+
+
 _FACTORIES: Dict[SharerFormat, Callable[..., SharerRep]] = {
     SharerFormat.FULL_BIT_VECTOR: lambda n, **kw: FullBitVector(n),
     SharerFormat.COARSE_VECTOR: lambda n, **kw: CoarseVector(n, kw.get("group", 4)),
     SharerFormat.LIMITED_POINTER: lambda n, **kw: LimitedPointer(n, kw.get("pointers", 4)),
+    SharerFormat.HIERARCHICAL: lambda n, **kw: HierarchicalRep(
+        n, kw.get("cluster", 0), kw.get("hier_pointers", 2)
+    ),
 }
 
 
@@ -244,5 +387,6 @@ def sharer_storage_bits(fmt: SharerFormat, num_cores: int, **params: int) -> int
         SharerFormat.FULL_BIT_VECTOR: FullBitVector,
         SharerFormat.COARSE_VECTOR: CoarseVector,
         SharerFormat.LIMITED_POINTER: LimitedPointer,
+        SharerFormat.HIERARCHICAL: HierarchicalRep,
     }[fmt]
     return cls.storage_bits(num_cores, **params)

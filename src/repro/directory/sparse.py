@@ -102,6 +102,8 @@ class SparseDirectory(Directory):
             num_cores,
             group=config.coarse_group,
             pointers=config.limited_pointers,
+            cluster=config.hier_cluster,
+            hier_pointers=config.hier_pointers,
         )
 
     # -- internals -------------------------------------------------------------

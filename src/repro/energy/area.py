@@ -72,6 +72,8 @@ def entry_bits(config: DirectoryConfig, num_cores: int, sets: int, block_bytes: 
             num_cores,
             group=config.coarse_group,
             pointers=config.limited_pointers,
+            cluster=config.hier_cluster,
+            hier_pointers=config.hier_pointers,
         )
     return tag + state + valid + owner_ptr + replacement + sharers
 

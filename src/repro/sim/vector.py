@@ -47,6 +47,7 @@ import numpy as np
 
 from ..coherence.tables import L1Tables, l1_tables
 from ..common.addr import log2_exact
+from ..directory.sharers import hier_auto_cluster
 from ..common.config import (
     DirectoryKind,
     MemoryModel,
@@ -237,15 +238,20 @@ class _FlatMachine:
             self.dir_occ = [0] * dsets
         self.dir_occ_total = 0
 
-        # Sharer representation: 0 = full bitvector, 1 = coarse, 2 = limited.
+        # Sharer representation: 0 = full bitvector, 1 = coarse, 2 = limited,
+        # 3 = hierarchical (SCD-style two-level, see directory.sharers).
         fmt = dcfg.sharer_format
         self.smode = (
             0
             if fmt is SharerFormat.FULL_BIT_VECTOR
-            else 1 if fmt is SharerFormat.COARSE_VECTOR else 2
+            else 1
+            if fmt is SharerFormat.COARSE_VECTOR
+            else 2 if fmt is SharerFormat.LIMITED_POINTER else 3
         )
         self.group = dcfg.coarse_group
         self.pointers = dcfg.limited_pointers
+        self.cluster = dcfg.hier_cluster or hier_auto_cluster(n)
+        self.hier_pointers = dcfg.hier_pointers
 
         # Data-version bookkeeping (mirrors HomeController.mint_version).
         self.vclock = 0
@@ -303,6 +309,15 @@ class _FlatMachine:
         self.writes_ct = 0
         self.latency_total = 0
 
+        # Optional scan-invalidation feed for the bank-parallel engine
+        # (repro.sim.parallel): when set to per-core lists, every slow-path
+        # event that removes or demotes a core's L1 line appends the block
+        # to that core's list.  A core's *own* fills and upgrades are not
+        # recorded — they can only turn predicted hits conservative (false
+        # run-enders), never unsafe.  ``None`` (the default) keeps the
+        # serial engines entirely hook-free.
+        self.touched: Optional[List[List[int]]] = None
+
     # -- NoC -------------------------------------------------------------------
 
     def _send(self, src: int, dst: int, ci: int) -> int:
@@ -321,7 +336,7 @@ class _FlatMachine:
             e[3] |= 1 << core
         elif m == 1:
             e[3] |= 1 << (core // self.group)
-        else:
+        elif m == 2:
             ids = e[3]
             if e[4] or core in ids:
                 return
@@ -330,6 +345,22 @@ class _FlatMachine:
             else:
                 e[4] = 1
                 ids.clear()
+        else:
+            # Hierarchical: mirrors HierarchicalRep.add exactly (e[3] is
+            # the cluster->ids dict, e[4] the overflowed-cluster mask).
+            c = core // self.cluster
+            if e[4] & (1 << c):
+                return
+            clusters = e[3]
+            ids = clusters.get(c)
+            if ids is None:
+                clusters[c] = [core]
+            elif core not in ids:
+                if len(ids) < self.hier_pointers:
+                    ids.append(core)
+                else:
+                    e[4] |= 1 << c
+                    del clusters[c]
 
     def _rep_remove(self, e: list, core: int) -> None:
         m = self.smode
@@ -339,6 +370,14 @@ class _FlatMachine:
             ids = e[3]
             if not e[4] and core in ids:
                 ids.remove(core)
+        elif m == 3:
+            c = core // self.cluster
+            if not e[4] & (1 << c):
+                ids = e[3].get(c)
+                if ids is not None and core in ids:
+                    ids.remove(core)
+                    if not ids:
+                        del e[3][c]
         # Coarse: one departure cannot prove the group empty.
 
     def _targets(self, e: list) -> List[int]:
@@ -364,18 +403,44 @@ class _FlatMachine:
                     start = g * group
                     result.extend(range(start, min(start + group, n)))
             return result
-        if e[4]:
-            return list(range(self.n))
-        return list(e[3])
+        if m == 2:
+            if e[4]:
+                return list(range(self.n))
+            return list(e[3])
+        # Hierarchical: ascending cluster order, insertion order within a
+        # precise cluster, clamped tail (HierarchicalRep.targets).
+        result = []
+        n = self.n
+        cluster = self.cluster
+        clusters = e[3]
+        ovf = e[4]
+        num_clusters = (n + cluster - 1) // cluster
+        for c in range(num_clusters):
+            if ovf & (1 << c):
+                start = c * cluster
+                result.extend(range(start, min(start + cluster, n)))
+            else:
+                got = clusters.get(c)
+                if got:
+                    result.extend(got)
+        return result
 
     # -- directory entry operations --------------------------------------------
 
+    def _rep_new(self):
+        m = self.smode
+        if m == 2:
+            return []
+        if m == 3:
+            return {}
+        return 0
+
     def _new_entry(self, blk: int, pos: int) -> list:
-        return [blk, None, 0, [] if self.smode == 2 else 0, 0, pos]
+        return [blk, None, 0, self._rep_new(), 0, pos]
 
     def _grant_exclusive(self, e: list, core: int) -> None:
         e[2] = 1 << core
-        if self.smode == 2:
+        if self.smode >= 2:
             e[3].clear()
             e[4] = 0
         else:
@@ -534,6 +599,8 @@ class _FlatMachine:
                     worst = rt
                 removed = l1maps[target].pop(vaddr, None)
                 if removed is not None:
+                    if self.touched is not None:
+                        self.touched[target].append(vaddr)
                     p = removed[1]
                     l1_blocks[target][p] = -1
                     l1_occ[target][p // lways] -= 1
@@ -569,6 +636,8 @@ class _FlatMachine:
         rec = self.l1maps[core].pop(blk, None)
         if rec is None:
             return None
+        if self.touched is not None:
+            self.touched[core].append(blk)
         pos = rec[1]
         self.l1_blocks[core][pos] = -1
         self.l1_occ[core][pos // self.l1_ways] -= 1
@@ -716,6 +785,8 @@ class _FlatMachine:
                     vpos = pos
             vblk = blocks[vpos]
             vrec = lmap.pop(vblk)
+            if self.touched is not None:
+                self.touched[core].append(vblk)
             blocks[vpos] = -1
             occ[s] -= 1
             self.l1_removals[core] += 1
@@ -838,6 +909,8 @@ class _FlatMachine:
                     else:
                         was_dirty = orec[2]
                         version = orec[3]
+                        if self.touched is not None:
+                            self.touched[owner].append(blk)
                         if self.moesi and was_dirty:
                             if orec[0] == _ST_MODIFIED:
                                 orec[0] = _ST_OWNED
@@ -922,6 +995,8 @@ class _FlatMachine:
                     latency += lat_home[owner]
                     removed = self.l1maps[owner].pop(blk, None)
                     if removed is not None:
+                        if self.touched is not None:
+                            self.touched[owner].append(blk)
                         p = removed[1]
                         self.l1_blocks[owner][p] = -1
                         self.l1_occ[owner][p // lways] -= 1
@@ -1003,7 +1078,7 @@ class _FlatMachine:
                     # Inlined _dir_allocate (free-way fast path; full
                     # sets go through the generic eviction logic).
                     if self.ideal:
-                        e = [blk, None, 0, [] if self.smode == 2 else 0, 0, -1]
+                        e = [blk, None, 0, self._rep_new(), 0, -1]
                         dmap[blk] = e
                         self.c_dir_allocs += 1
                         self.dir_occ_total += 1
@@ -1056,7 +1131,7 @@ class _FlatMachine:
                                 blk,
                                 None,
                                 0,
-                                [] if self.smode == 2 else 0,
+                                self._rep_new(),
                                 0,
                                 vpos,
                             ]
@@ -1094,7 +1169,7 @@ class _FlatMachine:
                                 blk,
                                 None,
                                 0,
-                                [] if self.smode == 2 else 0,
+                                self._rep_new(),
                                 0,
                                 vpos,
                             ]
@@ -1182,6 +1257,8 @@ class _FlatMachine:
                     worst = rt
                 removed = l1maps[target].pop(blk, None)
                 if removed is not None:
+                    if self.touched is not None:
+                        self.touched[target].append(blk)
                     p = removed[1]
                     l1_blocks[target][p] = -1
                     l1_occ[target][p // lways] -= 1
@@ -1296,6 +1373,8 @@ class _FlatMachine:
                     nf[_INV_ACK] += h
                     removed = l1maps[target].pop(vblk, None)
                     if removed is not None:
+                        if self.touched is not None:
+                            self.touched[target].append(vblk)
                         p = removed[1]
                         l1_blocks[target][p] = -1
                         l1_occ[target][p // lways] -= 1
@@ -1392,6 +1471,8 @@ class _FlatMachine:
             was_dirty = orec[2]
             version = orec[3]
             if demand == 0:
+                if self.touched is not None:
+                    self.touched[dst].append(blk)
                 orec[0] = _ST_SHARED
                 orec[2] = 0
             else:
@@ -1605,22 +1686,29 @@ class VectorEngine:
         ncores = trace.num_cores
         epoch = self.epoch_ops
 
-        # One vectorized pass per stream: shift out the address bits, keep
-        # the write bit, and pre-count writes (reads/writes are derived
-        # stats, never maintained per op).
+        # Per-stream raw word views plus one popcount pass for the derived
+        # read/write split.  The shift/mask transform happens lazily per
+        # epoch slice in ``decode`` below — the full-stream transformed
+        # copy the engine used to pre-build doubled the numpy footprint
+        # and paid a second whole-trace pass before the first op ran.
         arrs: List[Optional[np.ndarray]] = []
         writes_total = 0
         for core in range(ncores):
             stream = trace.streams[core]
             if len(stream):
                 words = np.frombuffer(stream, dtype=np.uint64)
-                wbits = words & np.uint64(1)
-                writes_total += int(wbits.sum())
-                arrs.append(
-                    ((words >> np.uint64(packshift)) << np.uint64(1)) | wbits
-                )
+                writes_total += int((words & np.uint64(1)).sum())
+                arrs.append(words)
             else:
                 arrs.append(None)
+
+        shift = np.uint64(packshift)
+        one = np.uint64(1)
+
+        def decode(words: np.ndarray) -> List[int]:
+            """One epoch slice as ``(block << 1) | is_write`` Python ints."""
+            wbits = words & one
+            return (((words >> shift) << one) | wbits).tolist()
 
         totals = [len(trace.streams[core]) for core in range(ncores)]
         clocks = [0] * ncores
@@ -1658,7 +1746,7 @@ class VectorEngine:
             n = len(ops)
             i = cur - bas
             if i == n:
-                ops = arrs[core][cur : cur + epoch].tolist()
+                ops = decode(arrs[core][cur : cur + epoch])
                 chunk_lists[core] = ops
                 chunk_base[core] = bas = cur
                 n = len(ops)
@@ -1708,7 +1796,7 @@ class VectorEngine:
                         cur = total
                         break
                     cur = bas + n
-                    ops = arrs[core][cur : cur + epoch].tolist()
+                    ops = decode(arrs[core][cur : cur + epoch])
                     chunk_lists[core] = ops
                     chunk_base[core] = bas = cur
                     n = len(ops)

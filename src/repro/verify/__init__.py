@@ -30,6 +30,7 @@ from .differ import (
     make_fuzz_config,
     run_differential,
     run_engine_differential,
+    run_parallel_differential,
 )
 from .corpus import (
     FailureCase,
@@ -66,6 +67,7 @@ __all__ = [
     "repro_command",
     "run_differential",
     "run_engine_differential",
+    "run_parallel_differential",
     "save_case",
     "seed_corpus",
 ]

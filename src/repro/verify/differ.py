@@ -38,6 +38,12 @@ and the two captures must agree bit-for-bit — including the complete
 statistics tree, which the organization differ deliberately does not
 compare.  :data:`ENGINE_FAULTS` corrupts the vector engine's derived
 transition tables to prove this axis catches table-generation bugs.
+
+A third axis, :func:`run_parallel_differential`, regroups the flat
+program into per-core streams and runs the full timestamp-ordered
+interleave end-to-end on the serial interpreter and on the run-length
+batching engine (:mod:`repro.sim.parallel`) at several scan-worker
+counts; the complete simulation results must match bit-for-bit.
 """
 
 from __future__ import annotations
@@ -607,6 +613,110 @@ def diff_engine_results(
     if broken is not None:
         return Divergence(kind, "engine-stats", broken)
     return None
+
+
+def run_parallel_differential(
+    program: Sequence[FlatOp],
+    *,
+    kinds: Sequence[DirectoryKind] = ENGINE_KINDS,
+    options: RunOptions = RunOptions(),
+    fault: Optional[FaultSpec] = None,
+    workers: Sequence[int] = (0, 2),
+    epoch_ops: int = 96,
+) -> List[Divergence]:
+    """Run the parallel engine against the interpreter on one program.
+
+    Where :func:`run_engine_differential` replays the *global* flat order
+    op by op, this axis exercises the full timestamp-ordered interleave:
+    the program's ops are regrouped into per-core streams (per-core order
+    preserved) and the whole trace runs end-to-end on the serial
+    interpreter and on :class:`repro.sim.parallel.ParallelEngine` — once
+    per entry in ``workers`` — over the same configuration.  The complete
+    :class:`~repro.sim.results.SimulationResult` must agree bit-for-bit:
+    per-core cycles, the flattened statistics tree and the
+    effective-tracking samples.  ``epoch_ops`` is deliberately tiny so a
+    few hundred ops cross many scan windows (stale-snapshot revalidation,
+    window refills and warp commits all fire).  ``fault`` (from
+    :data:`ENGINE_FAULTS`) corrupts the tables handed to the parallel
+    side only.  Categories are prefixed ``parallel-``.
+    """
+    from ..common.addr import log2_exact
+    from ..sim.parallel import ParallelEngine
+    from ..sim.simulator import run_trace
+    from ..sim.trace import PackedTrace, Trace
+
+    divergences: List[Divergence] = []
+    for kind in kinds:
+        config = make_fuzz_config(kind, options)
+        if vector_supports(config) is not None:
+            continue
+        shift = log2_exact(config.block_bytes)
+        trace = Trace(config.num_cores)
+        for core, block, is_write in program:
+            trace.append(core, block << shift, is_write)
+        packed = PackedTrace.from_trace(trace)
+        reference = run_trace(config, trace, engine="interp")
+        ref_stats = sorted(reference.stats.items())
+        tables = None
+        if fault is not None:
+            tables = fault.inject(l1_tables(config.protocol))
+        for count in workers:
+            label = f"{kind.value} (workers={count})"
+            try:
+                candidate = ParallelEngine(
+                    config, tables=tables, epoch_ops=epoch_ops, workers=count
+                ).run(packed)
+            except (ReproError, IndexError, KeyError, AssertionError) as exc:
+                divergences.append(
+                    Divergence(
+                        kind.value,
+                        "parallel-crash",
+                        f"{label}: {type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            if candidate.cycles_per_core != reference.cycles_per_core:
+                diffs = [
+                    f"core {c}: interp={want} parallel={got}"
+                    for c, (want, got) in enumerate(
+                        zip(reference.cycles_per_core, candidate.cycles_per_core)
+                    )
+                    if want != got
+                ]
+                divergences.append(
+                    Divergence(
+                        kind.value,
+                        "parallel-cycles",
+                        f"{label}: per-core cycles differ: " + "; ".join(diffs[:4]),
+                    )
+                )
+            elif sorted(candidate.stats.items()) != ref_stats:
+                keys = set(reference.stats) | set(candidate.stats)
+                diffs = [
+                    f"{name}: interp={reference.stats.get(name)} "
+                    f"parallel={candidate.stats.get(name)}"
+                    for name in sorted(keys)
+                    if reference.stats.get(name) != candidate.stats.get(name)
+                ]
+                divergences.append(
+                    Divergence(
+                        kind.value,
+                        "parallel-stats",
+                        f"{label}: stat trees differ: " + "; ".join(diffs[:4]),
+                    )
+                )
+            elif (
+                candidate.effective_tracking_samples
+                != reference.effective_tracking_samples
+            ):
+                divergences.append(
+                    Divergence(
+                        kind.value,
+                        "parallel-samples",
+                        f"{label}: effective-tracking sample series differ",
+                    )
+                )
+    return divergences
 
 
 def run_engine_differential(

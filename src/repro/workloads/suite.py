@@ -162,6 +162,15 @@ SUITE: Dict[str, WorkloadSpec] = {
             patterns.lock_contention,
             {"num_locks": 4, "lock_frac": 0.2},
         ),
+        WorkloadSpec(
+            "weakscale-like",
+            "weak-scaling unit: compact private set, long post-warmup hit runs",
+            patterns.private_working_set,
+            # Uniform draws over an L1-resident set: every block is touched
+            # early (coupon-collector warmup), then the steady state is
+            # event-free — the regime where run-length batching pays.
+            {"ws_blocks": 64, "write_frac": 0.25, "zipf_alpha": 0.0},
+        ),
     ]
 }
 
@@ -180,7 +189,12 @@ SUITE_ORDER: List[str] = [
 
 
 #: Stress workloads available beyond the paper-style evaluation order.
-EXTRA_WORKLOADS: List[str] = ["falseshare-like", "locks-like", "phased-like"]
+EXTRA_WORKLOADS: List[str] = [
+    "falseshare-like",
+    "locks-like",
+    "phased-like",
+    "weakscale-like",
+]
 
 
 def workload_names() -> List[str]:

@@ -1,0 +1,100 @@
+"""Golden equivalence: the parallel engine must not change a single bit.
+
+The bank-parallel run-length batching engine (:mod:`repro.sim.parallel`)
+is the third execution engine for the same machine; its contract is the
+same golden one the vector engine carries.  Every test here compares
+complete :class:`~repro.sim.results.SimulationResult` objects — per-core
+cycles, the flattened statistics tree and the effective-tracking sample
+series — against the serial interpreter and the vector engine, across
+directory organizations, scan-window sizes, scan-worker counts and core
+counts up to the paper's scaling regime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import KINDS, make_config
+from repro.common.config import DirectoryKind
+from repro.sim.parallel import ParallelEngine, parallel_supports
+from repro.sim.simulator import run_trace
+from repro.sim.trace import PackedTrace
+from repro.workloads.suite import build_workload
+
+OPS = 400
+
+#: Kinds with a flat view (the rest must fall back transparently).
+FLAT_KINDS = tuple(
+    k for k in KINDS
+    if k in (DirectoryKind.SPARSE, DirectoryKind.IDEAL, DirectoryKind.STASH)
+)
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=[k.value for k in KINDS])
+def test_parallel_run_bit_identical(kind):
+    config = make_config(kind, 0.25)
+    trace = PackedTrace.from_trace(
+        build_workload("mix", config.num_cores, OPS, seed=3)
+    )
+    interp = run_trace(config, trace)
+    parallel = run_trace(config, trace, engine="parallel")
+    assert parallel.cycles_per_core == interp.cycles_per_core
+    assert parallel.stats == interp.stats
+    assert parallel == interp
+    if kind in FLAT_KINDS:
+        assert parallel.engine == "parallel"
+    else:
+        assert parallel_supports(config) is not None
+        assert parallel.engine == "interp"  # transparent fallback
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=[k.value for k in KINDS])
+def test_tri_engine_64core_bit_identical(kind):
+    """Interpreter, vector and parallel agree at the 64-core scale."""
+    config = make_config(kind, 0.25, num_cores=64, seed=2)
+    trace = PackedTrace.from_trace(build_workload("mix", 64, OPS, seed=7))
+    interp = run_trace(config, trace)
+    vector = run_trace(config, trace, engine="vector")
+    parallel = run_trace(config, trace, engine="parallel")
+    assert vector == interp
+    assert parallel == interp
+
+
+def test_parallel_workers_do_not_change_results():
+    """Scan workers move work off the critical path, never the bits."""
+    config = make_config(DirectoryKind.SPARSE, 0.5, num_cores=64, seed=4)
+    trace = PackedTrace.from_trace(
+        build_workload("falseshare-like", 64, OPS, seed=9)
+    )
+    reference = run_trace(config, trace, engine="parallel")
+    for workers in (2, 3):
+        result = run_trace(
+            config, trace, engine="parallel", engine_workers=workers
+        )
+        assert result == reference, f"workers={workers} diverged"
+
+
+def test_parallel_identical_across_window_sizes():
+    """Scan-window slicing is invisible: any epoch_ops yields the same bits."""
+    config = make_config(DirectoryKind.STASH, 0.25)
+    trace = PackedTrace.from_trace(
+        build_workload("mix", config.num_cores, OPS, seed=5)
+    )
+    reference = ParallelEngine(config).run(trace)
+    for epoch_ops in (1, 7, OPS - 1, OPS, 4096):
+        result = ParallelEngine(config, epoch_ops=epoch_ops).run(trace)
+        assert result == reference, f"epoch_ops={epoch_ops} diverged"
+
+
+def test_parallel_256core_smoke():
+    """One point in the scaling regime: 256 cores, bit-identical to vector."""
+    config = make_config(
+        DirectoryKind.STASH, 0.125, num_cores=256, seed=1
+    )
+    trace = PackedTrace.from_trace(
+        build_workload("weakscale-like", 256, 300, seed=1)
+    )
+    vector = run_trace(config, trace, engine="vector")
+    parallel = run_trace(config, trace, engine="parallel", engine_workers=2)
+    assert parallel == vector
+    assert parallel.engine == "parallel"

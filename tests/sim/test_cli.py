@@ -129,7 +129,7 @@ class TestFuzz:
         assert code == 0
         out = capsys.readouterr().out
         assert "engine-differential" in out
-        assert "agrees with the interpreter bit-for-bit" in out
+        assert "agree with the interpreter bit-for-bit" in out
 
     def test_fuzz_engine_fault_caught_minimized_replayed(
         self, tmp_path, capsys

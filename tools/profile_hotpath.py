@@ -10,6 +10,8 @@ statistics on the pipeline::
     python tools/profile_hotpath.py stash --top 40
     python tools/profile_hotpath.py cuckoo --sort cumtime
     python tools/profile_hotpath.py sparse --ops 6000 --callers
+    python tools/profile_hotpath.py stash --cores 256 \
+        --workload weakscale-like --engine parallel   # scaling regime
 
 Interpreting the output: the top entries should be the simulator run loop,
 ``CacheArray.lookup``, ``Network.send`` and the L1/home controllers.  Red
@@ -45,17 +47,29 @@ KINDS = {
 
 
 def profile_run(
-    kind: str, ops_per_core: int, ratio: float, workload: str, seed: int
+    kind: str,
+    ops_per_core: int,
+    ratio: float,
+    workload: str,
+    seed: int,
+    num_cores: int = 0,
+    engine: str = "interp",
+    engine_workers: int = 0,
 ) -> cProfile.Profile:
     """Profile one run_trace invocation; returns the filled profiler."""
-    config = make_config(KINDS[kind], ratio=ratio)
+    if num_cores:
+        config = make_config(KINDS[kind], ratio=ratio, num_cores=num_cores)
+    else:
+        config = make_config(KINDS[kind], ratio=ratio)
     trace = build_workload(
         workload, config.num_cores, ops_per_core,
         seed=seed, block_bytes=config.block_bytes,
     )
     profiler = cProfile.Profile()
     profiler.enable()
-    run_trace(config, trace)
+    run_trace(
+        config, trace, engine=engine, engine_workers=engine_workers
+    )
     profiler.disable()
     return profiler
 
@@ -67,6 +81,20 @@ def main(argv=None) -> int:
     parser.add_argument("--ratio", type=float, default=0.5, help="provisioning ratio")
     parser.add_argument("--workload", default="mix")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--cores", type=int, default=0,
+        help="core count (0 = the default 16-core evaluation machine); "
+             "scaling-regime profiles pair this with --engine parallel",
+    )
+    parser.add_argument(
+        "--engine", default="interp",
+        choices=["interp", "vector", "parallel"],
+        help="execution engine to profile",
+    )
+    parser.add_argument(
+        "--engine-workers", type=int, default=0,
+        help="scan worker processes for the parallel engine",
+    )
     parser.add_argument("--top", type=int, default=25, help="rows to print")
     parser.add_argument(
         "--sort", default="tottime", choices=["tottime", "cumtime", "ncalls"],
@@ -81,7 +109,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    profiler = profile_run(args.kind, args.ops, args.ratio, args.workload, args.seed)
+    profiler = profile_run(
+        args.kind, args.ops, args.ratio, args.workload, args.seed,
+        num_cores=args.cores, engine=args.engine,
+        engine_workers=args.engine_workers,
+    )
 
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
