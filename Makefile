@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath bench-vector obs-smoke fuzz fuzz-smoke examples docs clean
+.PHONY: install test bench quick-bench bench-scaling bench-runner bench-hotpath bench-vector bench-service obs-smoke service-smoke fuzz fuzz-smoke examples docs clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -45,6 +45,20 @@ bench-hotpath:
 # docs/PERFORMANCE.md).  Append `--smoke` by hand for a quick CI-style run.
 bench-vector:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_vector.py
+
+# Campaign-service load benchmark: boots the HTTP service in-process,
+# drives it with the synthetic load client, and reports sustained
+# points/s plus submit-to-result latency percentiles, cold vs warm cache
+# (writes BENCH_service.json; see docs/SERVICE.md).
+bench-service:
+	$(PYTHON) -m pytest benchmarks/bench_service.py --benchmark-only
+
+# Boot `repro serve` as a real subprocess, submit a tiny campaign over
+# HTTP, poll it to completion, check /metrics parses and every point
+# summary is bit-identical to a direct run_trace (mirrors the CI
+# service-smoke job; see docs/SERVICE.md).
+service-smoke:
+	PYTHONPATH=src $(PYTHON) tools/service_smoke.py
 
 # Traced + sampled smoke run with structural validation of the exports
 # (mirrors the CI obs-smoke job; see docs/OBSERVABILITY.md).

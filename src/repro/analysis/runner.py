@@ -5,12 +5,17 @@ provisioning ratio x workload) sweep points — dozens of independent pure-
 Python simulations.  This module is the one place that executes them:
 
 * **Fan-out** — :func:`run_points` distributes independent sweep points
-  across a :class:`concurrent.futures.ProcessPoolExecutor` (``workers > 1``)
-  with deterministic result ordering: results come back in input order and
-  are byte-identical to a serial run, because each simulation is fully
-  determined by its :class:`SweepPoint`.  ``workers=1`` (the default), a
-  single pending point, or any pool failure (e.g. an unpicklable config)
-  falls back to the plain serial loop.
+  across a pluggable :class:`~repro.analysis.dispatch.DispatchBackend`
+  (``workers > 1``; a process pool by default) with deterministic result
+  ordering: results come back in input order and are byte-identical to a
+  serial run, because each simulation is fully determined by its
+  :class:`SweepPoint`.  ``workers=1`` (the default), a single pending
+  point, or any pool failure (e.g. an unpicklable config) falls back to
+  the plain serial loop.  Completed batches write their cache entries
+  *incrementally* (atomic per-entry files), and ``KeyboardInterrupt`` /
+  SIGTERM mid-sweep cancels pending batches, drains the pool (terminating
+  blocked workers) and re-raises — a killed sweep keeps every finished
+  point and never leaves a partially-written cache entry.
 * **Batched dispatch** — pending points are grouped by *trace key* (the
   workload-generation parameterization) and shipped to workers in batches,
   so each worker derives or loads its input trace once per batch and pays
@@ -41,8 +46,10 @@ Environment knobs (read once at import, overridable via :func:`configure`
 or per-call arguments): ``REPRO_WORKERS`` (worker processes, default 1),
 ``REPRO_CACHE_DIR`` (cache root, default ``.repro_cache``),
 ``REPRO_NO_CACHE`` (any non-empty value disables the result disk layer),
-``REPRO_NO_TRACE_CACHE`` (disables the trace spool) and
-``REPRO_BATCH_SIZE`` (points per worker dispatch, 0 = auto).
+``REPRO_NO_TRACE_CACHE`` (disables the trace spool), ``REPRO_BATCH_SIZE``
+(points per worker dispatch, 0 = auto) and ``REPRO_BACKEND`` (dispatch
+backend name from :data:`repro.analysis.dispatch.BACKENDS`, default
+``pool``).
 """
 
 from __future__ import annotations
@@ -52,11 +59,10 @@ import json
 import math
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..common.config import SystemConfig
 from ..obs import ObsConfig, attach
@@ -64,6 +70,7 @@ from ..sim.results import SimulationResult
 from ..sim.simulator import run_trace
 from ..sim.system import build_system
 from ..workloads import store as trace_store
+from . import dispatch
 from .io import FORMAT_VERSION, config_to_dict, result_from_dict, result_to_dict
 
 # Re-exported for callers that think in runner terms (CLI, benchmarks).
@@ -301,6 +308,7 @@ _DEFAULTS = {
     "cache_enabled": not os.environ.get("REPRO_NO_CACHE"),
     "trace_cache_enabled": not os.environ.get("REPRO_NO_TRACE_CACHE"),
     "batch_size": max(0, int(os.environ.get("REPRO_BATCH_SIZE", "0") or "0")),
+    "backend": os.environ.get("REPRO_BACKEND") or dispatch.ProcessPoolBackend.name,
 }
 
 
@@ -310,12 +318,15 @@ def configure(
     cache_enabled: Optional[bool] = None,
     trace_cache_enabled: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Dict[str, object]:
     """Set process-wide runner defaults; None leaves a field unchanged.
 
     Returns the resolved defaults (also the way to inspect them).
     ``batch_size=0`` means auto (split the pending set evenly across
-    workers); the trace spool lives under ``<cache_dir>/traces/``.
+    workers); the trace spool lives under ``<cache_dir>/traces/``;
+    ``backend`` names a dispatch backend from
+    :data:`repro.analysis.dispatch.BACKENDS`.
     """
     if workers is not None:
         _DEFAULTS["workers"] = max(1, int(workers))
@@ -327,6 +338,13 @@ def configure(
         _DEFAULTS["trace_cache_enabled"] = bool(trace_cache_enabled)
     if batch_size is not None:
         _DEFAULTS["batch_size"] = max(0, int(batch_size))
+    if backend is not None:
+        if backend not in dispatch.BACKENDS:
+            raise ValueError(
+                f"unknown dispatch backend {backend!r}; "
+                f"known: {sorted(dispatch.BACKENDS)}"
+            )
+        _DEFAULTS["backend"] = backend
     return dict(_DEFAULTS)
 
 
@@ -346,6 +364,12 @@ def default_trace_store() -> trace_store.TraceStore:
     return trace_store.TraceStore(trace_spool_root())
 
 
+def campaigns_root(cache_dir: Optional[Union[str, Path]] = None) -> Path:
+    """The campaign-journal directory under a cache root (default: configured)."""
+    root = Path(cache_dir) if cache_dir is not None else Path(_DEFAULTS["cache_dir"])
+    return root / "campaigns"
+
+
 def clear_memo() -> None:
     """Drop the in-memory result memo only."""
     _MEMO.clear()
@@ -362,11 +386,21 @@ def clear_trace_cache() -> int:
     return default_trace_store().clear()
 
 
+def clear_campaign_store() -> int:
+    """Delete every journaled campaign under the configured cache dir."""
+    # Imported lazily: repro.service sits above the analysis layer.
+    from ..service.store import CampaignStore
+
+    return CampaignStore(campaigns_root()).clear()
+
+
 def clear_all() -> None:
-    """Drop every cache layer — result memo+disk and trace memo+spool."""
+    """Drop every cache layer — result memo+disk, trace memo+spool and the
+    campaign journal store."""
     clear_memo()
     clear_disk_cache()
     clear_trace_cache()
+    clear_campaign_store()
 
 
 # ------------------------------------------------------------------ execution
@@ -473,40 +507,76 @@ def _plan_batches(
     return batches
 
 
+def _serial_compute(
+    points: Sequence[SweepPoint],
+    spool_dir: Optional[str],
+    spool_enabled: bool,
+    on_output: Optional[Callable[[int, Tuple], None]] = None,
+) -> List[Tuple[SimulationResult, float, float]]:
+    """The plain serial loop (also the parallel-failure fallback)."""
+    outputs: List[Tuple[SimulationResult, float, float]] = []
+    for index, point in enumerate(points):
+        output = _compute_point(point, spool_dir, spool_enabled)
+        if on_output is not None:
+            on_output(index, output)
+        outputs.append(output)
+    return outputs
+
+
 def _compute_batch(
     points: Sequence[SweepPoint],
     workers: int,
     spool_dir: Optional[str],
     spool_enabled: bool,
     batch_size: int,
+    backend_name: Optional[str] = None,
+    on_output: Optional[Callable[[int, Tuple], None]] = None,
 ) -> List[Tuple[SimulationResult, float, float]]:
-    """Compute every point, fanning out across processes when asked.
+    """Compute every point through a dispatch backend when asked.
 
-    Output order matches input order regardless of worker scheduling.  Any
-    pool-level failure (pickling, missing OS support, broken pool) falls
-    back to the serial loop so a sweep never dies on parallel plumbing.
+    Output order matches input order regardless of worker scheduling;
+    ``on_output(point_index, output)`` fires in *completion* order (the
+    hook incremental cache writes hang off — an interrupted sweep keeps
+    everything that finished).  Any backend-level failure (pickling,
+    missing OS support, broken pool) falls back to the serial loop so a
+    sweep never dies on parallel plumbing; ``KeyboardInterrupt`` and
+    SIGTERM cancel pending batches, drain the pool and re-raise.
     """
-    if workers <= 1 or len(points) <= 1:
-        # Explicit serial path: one worker never pays for an executor.
-        return [_compute_point(point, spool_dir, spool_enabled) for point in points]
-    plan = _plan_batches(points, workers, batch_size)
-    try:
+    with dispatch.graceful_sigterm():
+        if workers <= 1 or len(points) <= 1:
+            # Explicit serial path: one worker never pays for an executor.
+            return _serial_compute(points, spool_dir, spool_enabled, on_output)
+        plan = _plan_batches(points, workers, batch_size)
         run = partial(_run_batch, spool_dir=spool_dir, spool_enabled=spool_enabled)
-        with ProcessPoolExecutor(max_workers=min(workers, len(plan))) as pool:
-            batched = list(
-                pool.map(run, [[points[i] for i in batch] for batch in plan])
-            )
-        counters.parallel_batches += 1
-        counters.dispatches += len(plan)
+        backend = dispatch.make_backend(
+            backend_name or str(_DEFAULTS["backend"]), min(workers, len(plan))
+        )
         computed: List[Optional[Tuple[SimulationResult, float, float]]]
         computed = [None] * len(points)
-        for batch, outputs in zip(plan, batched):
-            for index, output in zip(batch, outputs):
-                computed[index] = output
-        return computed  # type: ignore[return-value]
-    except Exception:
-        counters.parallel_fallbacks += 1
-    return [_compute_point(point, spool_dir, spool_enabled) for point in points]
+
+        def _fold(batch_index: int, outputs: List[Tuple]) -> None:
+            for point_index, output in zip(plan[batch_index], outputs):
+                computed[point_index] = output
+                if on_output is not None:
+                    on_output(point_index, output)
+
+        try:
+            dispatch.run_batches(
+                backend,
+                run,
+                [[points[i] for i in batch] for batch in plan],
+                on_batch=_fold,
+            )
+            counters.parallel_batches += 1
+            counters.dispatches += len(plan)
+            return computed  # type: ignore[return-value]
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            counters.parallel_fallbacks += 1
+        finally:
+            backend.shutdown()
+        return _serial_compute(points, spool_dir, spool_enabled, on_output)
 
 
 def run_points(
@@ -516,13 +586,16 @@ def run_points(
     cache_enabled: Optional[bool] = None,
     trace_cache_enabled: Optional[bool] = None,
     batch_size: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[SimulationResult]:
     """Execute sweep points through memo -> disk cache -> (parallel) compute.
 
     Results are returned in input order; duplicate points are simulated
     once.  Pending points are dispatched to workers in trace-key-grouped
     batches, and every distinct input trace is materialized exactly once
-    in this process (memo + spool) before any dispatch.  Per-call
+    in this process (memo + spool) before any dispatch.  Completed points
+    land in the memo and disk cache *as their batches finish*, so an
+    interrupted sweep resumes from everything already computed.  Per-call
     arguments override the configured defaults (None means "use the
     default").
     """
@@ -574,7 +647,8 @@ def run_points(
         pending[key] = (point, [index], disk_key)
 
     if pending:
-        todo = [entry[0] for entry in pending.values()]
+        entries = list(pending.values())
+        todo = [entry[0] for entry in entries]
         # Materialize every distinct input trace once, up front: later
         # worker batches find it in the spool (or, with a forking pool,
         # already in the inherited memo), so a kinds x ratios sweep
@@ -587,18 +661,28 @@ def run_points(
                 trace_store.get_packed_trace(
                     *trace_key, root=spool_dir, disk_enabled=use_spool
                 )
-        computed = _compute_batch(todo, workers, spool_dir, use_spool, batch_size)
+
+        def _store_output(todo_index: int, output: Tuple) -> None:
+            # Fires as each batch completes: an interrupted sweep keeps
+            # every finished point in both cache layers (idempotent, so
+            # the serial fallback re-calling it is harmless).
+            point, _, disk_key = entries[todo_index]
+            if not point.observed:
+                _MEMO[point.memo_key] = output[0]
+                if use_disk:
+                    disk.store(disk_key, point, output[0])
+
+        computed = _compute_batch(
+            todo, workers, spool_dir, use_spool, batch_size,
+            backend_name=backend, on_output=_store_output,
+        )
         counters.point_seconds = [seconds for _, seconds, _ in computed]
         for (point, indices, disk_key), (result, seconds, trace_seconds) in zip(
-            pending.values(), computed
+            entries, computed
         ):
             counters.computed += 1
             counters.compute_seconds += seconds
             counters.trace_seconds += trace_seconds
-            if not point.observed:
-                _MEMO[point.memo_key] = result
-                if use_disk:
-                    disk.store(disk_key, point, result)
             for index in indices:
                 results[index] = result
     counters.batch_seconds += time.perf_counter() - batch_start
@@ -619,10 +703,14 @@ def simulate_point(
 
 
 def counters_summary() -> str:
-    """One-paragraph human-readable counter report (results + traces)."""
+    """One-paragraph human-readable counter report (results, traces,
+    campaign journals)."""
+    from ..service.store import CampaignStore
+
     c = counters
     t = trace_store.counters
     spool = default_trace_store().stats()
+    campaigns = CampaignStore(campaigns_root()).stats()
     lines = [
         "sweep runner counters:",
         f"  lookups        {c.lookups}  (memo {c.memo_hits}, disk {c.disk_hits}, "
@@ -644,5 +732,7 @@ def counters_summary() -> str:
         f"acquisition {c.trace_seconds:.2f}s of compute",
         f"  trace spool    {spool['files']} files, {spool['bytes']} bytes "
         f"(writes {t.disk_writes}, corrupt dropped {t.corrupt_entries})",
+        f"  campaigns      {campaigns['campaigns']} journaled "
+        f"({campaigns['files']} files, {campaigns['bytes']} bytes)",
     ]
     return "\n".join(lines)

@@ -18,6 +18,10 @@ Subcommands:
   time-series tables plus Perfetto trace exports (repro.obs).
 * ``compare`` — side-by-side diff of result files saved with ``--save``.
 * ``report`` — regenerate the whole evaluation into one markdown file.
+* ``serve`` — run the campaign service: an async HTTP/JSON API that
+  accepts sweep-campaign manifests, executes them through the dispatch
+  backends with crash-safe journaled resume, and exposes live Prometheus
+  metrics at ``/metrics`` (see docs/SERVICE.md).
 
 Observability flags on ``run`` and ``replay`` (see docs/OBSERVABILITY.md):
 ``--obs-epoch N`` samples the epoch time-series, ``--trace-events [CAP]``
@@ -564,6 +568,43 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the campaign service until SIGINT/SIGTERM.
+
+    Boots the asyncio HTTP server of :mod:`repro.service` on the given
+    address, scheduling submitted campaigns through the selected dispatch
+    backend.  The global sweep-engine flags apply: ``--workers`` sizes
+    the backend (0 = auto), ``--cache-dir``/``--no-cache`` control the
+    shared result cache and the campaign journal location, and
+    ``--batch-size`` overrides the work-stealing dispatch split.
+    """
+    import asyncio
+
+    from .service import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        backend=args.service_backend,
+        workers=args.workers or 0,
+        cache_dir=args.cache_dir,
+        cache_enabled=not args.no_cache,
+        trace_cache_enabled=True if args.trace_cache is None else args.trace_cache,
+        batch_size=args.batch_size or 0,
+        max_points=args.max_points,
+    )
+
+    def _ready(port: int, service) -> None:
+        backend = service.backend
+        print(
+            f"campaign service listening on http://{config.host}:{port} "
+            f"(backend={backend.name}, workers={backend.workers})",
+            flush=True,
+        )
+
+    return asyncio.run(serve_forever(config, ready=_ready))
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -781,6 +822,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to specific experiment ids (e.g. F3 headline)",
     )
     report.set_defaults(func=cmd_report)
+
+    serve = sub.add_parser("serve", help=cmd_serve.__doc__)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--backend", dest="service_backend", default="pool",
+        choices=["pool", "inproc"],
+        help="dispatch backend: 'pool' = process pool (real parallelism), "
+             "'inproc' = thread pool (no process spawn)",
+    )
+    serve.add_argument(
+        "--max-points", type=int, default=100_000, metavar="N",
+        help="reject manifests expanding to more than N points",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

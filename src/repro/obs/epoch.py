@@ -127,6 +127,24 @@ class EpochSampler:
         """Per-epoch values of one gauge (absolute, not delta-encoded)."""
         return [epoch["g"].get(name, 0.0) for epoch in self.epochs]  # type: ignore[union-attr]
 
+    def latest_gauges(self) -> Dict[str, float]:
+        """The most recent epoch's gauges plus its op/clock position.
+
+        The live-metrics view of an observed run: the campaign service
+        surfaces this dict as Prometheus gauges
+        (``repro_obs_gauge{gauge="dir_occupancy", ...}``), so ``/metrics``
+        tracks directory occupancy, stash-bit population and effective
+        tracking of whatever observed point finished last.  Empty before
+        the first sample.
+        """
+        if not self.epochs:
+            return {}
+        latest = self.epochs[-1]
+        gauges = dict(latest["g"])  # type: ignore[arg-type]
+        gauges["epoch_op"] = float(latest["op"])  # type: ignore[arg-type]
+        gauges["epoch_clock"] = float(latest["clock"])  # type: ignore[arg-type]
+        return gauges
+
     def field_names(self) -> Tuple[List[str], List[str]]:
         """(counter keys, gauge names) appearing anywhere in the series."""
         counter_keys: Dict[str, None] = {}

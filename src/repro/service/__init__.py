@@ -1,0 +1,42 @@
+"""Campaign service: the sweep engine as a long-running HTTP/JSON server.
+
+``repro serve`` boots :class:`~repro.service.server.CampaignService` — an
+asyncio, stdlib-only HTTP server that accepts **campaign manifests**
+(full-factorial factor grids, :mod:`repro.service.manifest`), schedules
+their sweep points through the pluggable dispatch backends of
+:mod:`repro.analysis.dispatch`, journals every completion for crash-safe
+resume (:mod:`repro.service.store`) and exposes live Prometheus metrics
+(:mod:`repro.service.metrics`).  :mod:`repro.service.loadgen` is the
+matching synthetic load client.  See docs/SERVICE.md for the HTTP API.
+"""
+
+from .manifest import (
+    ABSOLUTE_MAX_POINTS,
+    CampaignManifest,
+    ManifestError,
+    PointSpec,
+    parse_manifest,
+)
+from .metrics import MetricsRegistry, parse_prometheus
+from .server import (
+    CampaignService,
+    ServiceConfig,
+    ServiceHandle,
+    serve_forever,
+)
+from .store import CampaignStore
+
+__all__ = [
+    "ABSOLUTE_MAX_POINTS",
+    "CampaignManifest",
+    "CampaignService",
+    "CampaignStore",
+    "ManifestError",
+    "MetricsRegistry",
+    "PointSpec",
+    "ServiceConfig",
+    "ServiceHandle",
+    "parse_manifest",
+    "parse_prometheus",
+    "serve_forever",
+]

@@ -205,7 +205,9 @@ class TestParallel:
             def __init__(self, *args, **kwargs):
                 raise OSError("no process support here")
 
-        monkeypatch.setattr(runner, "ProcessPoolExecutor", BrokenPool)
+        from repro.analysis import dispatch
+
+        monkeypatch.setattr(dispatch, "ProcessPoolExecutor", BrokenPool)
         points = [tiny_point(seed=seed) for seed in (1, 2)]
         results = runner.run_points(points, workers=2, cache_enabled=False)
         assert len(results) == 2 and all(results)
