@@ -183,6 +183,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         result = run_trace(
             config, trace, engine=args.engine,
             epoch_ops=args.epoch_batch, engine_workers=args.engine_workers,
+            speculate=args.speculate,
         )
     else:
         result = Simulator(
@@ -269,6 +270,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         result = run_trace(
             config, trace, engine=args.engine,
             epoch_ops=args.epoch_batch, engine_workers=args.engine_workers,
+            speculate=args.speculate,
         )
     else:
         result = Simulator(
@@ -660,9 +662,15 @@ def build_parser() -> argparse.ArgumentParser:
              "scan-window ops (parallel); 0 = engine default",
     )
     run.add_argument(
-        "--engine-workers", type=int, default=0, metavar="N",
-        help="scan worker processes for the parallel engine "
-             "(0/1 = scan in-process; results identical for any count)",
+        "--engine-workers", default="auto", metavar="N",
+        help="scan worker processes for the parallel engine: an integer "
+             "(0/1 = scan in-process) or 'auto' to use workers only when "
+             "the host has spare CPUs; results identical for any count",
+    )
+    run.add_argument(
+        "--speculate", action=argparse.BooleanOptionalAction, default=False,
+        help="parallel engine: optimistic warp + replay past the "
+             "conservative horizon (results stay bit-identical)",
     )
     run.add_argument(
         "--check-invariants", nargs="?", const=1024, type=int, default=0,
@@ -718,8 +726,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast-engine batch size in ops (0 = engine default)",
     )
     replay.add_argument(
-        "--engine-workers", type=int, default=0, metavar="N",
-        help="scan worker processes for the parallel engine",
+        "--engine-workers", default="auto", metavar="N",
+        help="scan worker processes for the parallel engine: an integer "
+             "or 'auto' (workers only when the host has spare CPUs)",
+    )
+    replay.add_argument(
+        "--speculate", action=argparse.BooleanOptionalAction, default=False,
+        help="parallel engine: optimistic warp + replay past the "
+             "conservative horizon (results stay bit-identical)",
     )
     replay.add_argument(
         "--check-invariants", nargs="?", const=1024, type=int, default=0,

@@ -252,7 +252,8 @@ def run_trace(
     observer=None,
     engine: str = "interp",
     epoch_ops: int = 0,
-    engine_workers: int = 0,
+    engine_workers: Union[int, str] = "auto",
+    speculate: bool = False,
 ) -> SimulationResult:
     """Convenience one-shot: build the system (unless given) and run.
 
@@ -265,10 +266,15 @@ def run_trace(
     interpreter above), ``"vector"`` (the flat table-driven engine of
     :mod:`repro.sim.vector`), or ``"parallel"`` (the run-length batching
     engine of :mod:`repro.sim.parallel`; ``engine_workers`` sets its scan
-    worker count and ``epoch_ops`` its scan-window / decode-batch size for
-    both fast engines).  All three produce bit-identical results;
-    ``"vector"`` and ``"parallel"`` fall back to the interpreter
-    transparently when the configuration is outside the flat model (see
+    worker count — an integer, or ``"auto"`` to use workers only when the
+    host has spare CPUs for them (see
+    :func:`repro.sim.parallel.resolve_engine_workers`) — and ``epoch_ops``
+    its scan-window / decode-batch size for both fast engines;
+    ``speculate`` turns on the parallel engine's optimistic warp + replay
+    layer).  All three produce bit-identical results for any worker
+    count, window size, and speculation setting; ``"vector"`` and
+    ``"parallel"`` fall back to the interpreter transparently when the
+    configuration is outside the flat model (see
     :func:`repro.sim.vector.vector_supports`), when a pre-built ``system``
     or ``observer`` needs the live objects, or when the trace cannot be
     packed.  ``result.engine`` records which engine actually ran.
@@ -295,7 +301,10 @@ def run_trace(
                     from .parallel import ParallelEngine
 
                     return ParallelEngine(
-                        config, epoch_ops=batch, workers=engine_workers
+                        config,
+                        epoch_ops=batch,
+                        workers=engine_workers,
+                        speculate=speculate,
                     ).run(packed)
                 return VectorEngine(config, epoch_ops=batch).run(packed)
     if system is None:

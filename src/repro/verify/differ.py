@@ -276,6 +276,15 @@ def _corrupt_e_write_cell(tables: L1Tables) -> L1Tables:
     return corrupt_l1_tables(tables, cell=5)
 
 
+def _undo_log_fault(tables: L1Tables) -> L1Tables:
+    # The tables stay clean: this fault lives inside the parallel engine's
+    # speculation layer (the first deferred write surfaced from an undo
+    # log downgrades to SHARED), so :func:`run_parallel_differential`
+    # recognizes it by name and arms ``ParallelEngine._corrupt_flush``
+    # on the speculative runs instead of corrupting the table copy.
+    return tables
+
+
 #: Engine-mode faults (``repro fuzz --engine --inject-fault <name>``).
 #: Unlike :data:`FAULTS` these do not mutate a built system: ``inject``
 #: maps the derived :class:`L1Tables` to a corrupted copy handed to the
@@ -287,6 +296,12 @@ ENGINE_FAULTS: Dict[str, FaultSpec] = {
             "table-corrupt",
             "flip the (EXCLUSIVE, write) cell of the derived L1 action table",
             _corrupt_e_write_cell,
+        ),
+        FaultSpec(
+            "undo-corrupt",
+            "corrupt the first deferred write the speculation layer"
+            " surfaces from an undo log (parallel engine only)",
+            _undo_log_fault,
         ),
     )
 }
@@ -623,6 +638,8 @@ def run_parallel_differential(
     fault: Optional[FaultSpec] = None,
     workers: Sequence[int] = (0, 2),
     epoch_ops: int = 96,
+    speculate: Sequence[bool] = (False, True),
+    spec_min: int = 4,
 ) -> List[Divergence]:
     """Run the parallel engine against the interpreter on one program.
 
@@ -631,20 +648,26 @@ def run_parallel_differential(
     the program's ops are regrouped into per-core streams (per-core order
     preserved) and the whole trace runs end-to-end on the serial
     interpreter and on :class:`repro.sim.parallel.ParallelEngine` — once
-    per entry in ``workers`` — over the same configuration.  The complete
+    per ``workers`` × ``speculate`` combination — over the same
+    configuration.  The complete
     :class:`~repro.sim.results.SimulationResult` must agree bit-for-bit:
     per-core cycles, the flattened statistics tree and the
     effective-tracking samples.  ``epoch_ops`` is deliberately tiny so a
     few hundred ops cross many scan windows (stale-snapshot revalidation,
-    window refills and warp commits all fire).  ``fault`` (from
-    :data:`ENGINE_FAULTS`) corrupts the tables handed to the parallel
-    side only.  Categories are prefixed ``parallel-``.
+    window refills and warp commits all fire), and the speculative runs
+    drop the chunk threshold to ``spec_min`` so short adversarial
+    programs still build, flush, validate and squash undo logs.
+    ``fault`` (from :data:`ENGINE_FAULTS`) corrupts the tables handed to
+    the parallel side only — except ``undo-corrupt``, which instead arms
+    the speculation layer's undo-log corruption hook on the speculative
+    runs.  Categories are prefixed ``parallel-``.
     """
     from ..common.addr import log2_exact
     from ..sim.parallel import ParallelEngine
     from ..sim.simulator import run_trace
     from ..sim.trace import PackedTrace, Trace
 
+    undo_fault = fault is not None and fault.name == "undo-corrupt"
     divergences: List[Divergence] = []
     for kind in kinds:
         config = make_fuzz_config(kind, options)
@@ -658,14 +681,26 @@ def run_parallel_differential(
         reference = run_trace(config, trace, engine="interp")
         ref_stats = sorted(reference.stats.items())
         tables = None
-        if fault is not None:
+        if fault is not None and not undo_fault:
             tables = fault.inject(l1_tables(config.protocol))
-        for count in workers:
-            label = f"{kind.value} (workers={count})"
+        combos = [(c, s) for c in workers for s in speculate]
+        for count, spec in combos:
+            label = (
+                f"{kind.value} (workers={count},"
+                f" speculate={'on' if spec else 'off'})"
+            )
             try:
-                candidate = ParallelEngine(
-                    config, tables=tables, epoch_ops=epoch_ops, workers=count
-                ).run(packed)
+                engine = ParallelEngine(
+                    config,
+                    tables=tables,
+                    epoch_ops=epoch_ops,
+                    workers=count,
+                    speculate=spec,
+                    spec_min=spec_min if spec else None,
+                )
+                if undo_fault and spec:
+                    engine._corrupt_flush = True
+                candidate = engine.run(packed)
             except (ReproError, IndexError, KeyError, AssertionError) as exc:
                 divergences.append(
                     Divergence(

@@ -98,3 +98,108 @@ def test_parallel_256core_smoke():
     parallel = run_trace(config, trace, engine="parallel", engine_workers=2)
     assert parallel == vector
     assert parallel.engine == "parallel"
+
+
+def test_tri_engine_1024core_bit_identical():
+    """The paper's largest machine: all three engines agree at 1024 cores."""
+    config = make_config(DirectoryKind.STASH, 0.125, num_cores=1024, seed=1)
+    trace = PackedTrace.from_trace(
+        build_workload("weakscale-like", 1024, 120, seed=1)
+    )
+    interp = run_trace(config, trace)
+    vector = run_trace(config, trace, engine="vector")
+    parallel = run_trace(config, trace, engine="parallel", engine_workers=0)
+    speculative = run_trace(
+        config, trace, engine="parallel", engine_workers=0, speculate=True
+    )
+    assert vector == interp
+    assert parallel == interp
+    assert speculative == interp
+    assert speculative.engine == "parallel"
+
+
+@pytest.mark.parametrize("workers", [0, 2])
+@pytest.mark.parametrize("speculate", [False, True])
+def test_speculation_matrix_bit_identical(speculate, workers):
+    """Speculation on/off x worker count never changes a bit.
+
+    ``locks-like`` is contended enough that speculative runs are built,
+    validated against remote interference, squashed and replayed through
+    the serial path (``spec_min`` is dropped so short traces speculate).
+    """
+    config = make_config(DirectoryKind.STASH, 0.125, num_cores=16, seed=1)
+    trace = PackedTrace.from_trace(build_workload("locks-like", 16, 1200, seed=1))
+    interp = run_trace(config, trace)
+    engine = ParallelEngine(
+        config,
+        workers=workers,
+        speculate=speculate,
+        spec_min=4 if speculate else None,
+    )
+    result = engine.run(trace)
+    assert result == interp
+    if speculate:
+        assert engine.spec_stats["ops"] > 0
+        assert engine.spec_stats["squashes"] > 0  # replay path exercised
+
+
+def test_speculation_identical_across_window_sizes():
+    """Scan-window slicing stays invisible with speculation enabled."""
+    config = make_config(DirectoryKind.STASH, 0.25)
+    trace = PackedTrace.from_trace(
+        build_workload("mix", config.num_cores, OPS, seed=5)
+    )
+    reference = run_trace(config, trace)
+    for epoch_ops in (7, 97, OPS, 4096):
+        result = ParallelEngine(
+            config, epoch_ops=epoch_ops, speculate=True, spec_min=4
+        ).run(trace)
+        assert result == reference, f"epoch_ops={epoch_ops} diverged"
+
+
+def test_engine_workers_auto_resolution(monkeypatch):
+    """'auto' backs off to 0 on starved hosts; explicit ints are honored."""
+    import os
+
+    from repro.common.errors import TraceError
+    from repro.sim.parallel import _AUTO_WORKERS, resolve_engine_workers
+
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert resolve_engine_workers("auto") == 0
+    assert resolve_engine_workers(2) == 2  # explicit int wins over starvation
+    monkeypatch.setattr(os, "cpu_count", lambda: _AUTO_WORKERS + 1)
+    assert resolve_engine_workers("auto") == _AUTO_WORKERS
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    assert resolve_engine_workers("auto") == 0
+    assert resolve_engine_workers(None) == 0
+    assert resolve_engine_workers(0) == 0
+    assert resolve_engine_workers("3") == 3
+    with pytest.raises(TraceError):
+        resolve_engine_workers("many")
+    with pytest.raises(TraceError):
+        resolve_engine_workers(-1)
+    with pytest.raises(TraceError):
+        resolve_engine_workers(True)
+
+
+def test_neheap_compaction_bounds_churn():
+    """Stale next-event bounds are compacted away, not accumulated.
+
+    ``falseshare-like`` republishes bounds on nearly every op (every
+    event dirties every sharer), the worst case for lazy deletion; the
+    compaction threshold (stale > 2x live) must actually fire and keep
+    the heap within a small multiple of the core count — while leaving
+    the results bit-identical to the interpreter.
+    """
+    config = make_config(DirectoryKind.STASH, 0.125, num_cores=8, seed=1)
+    trace = PackedTrace.from_trace(
+        build_workload("falseshare-like", 8, 1200, seed=1)
+    )
+    interp = run_trace(config, trace)
+    engine = ParallelEngine(config, epoch_ops=96, workers=0)
+    result = engine.run(trace)
+    assert result == interp
+    stats = engine.heap_stats
+    assert stats["neheap_compactions"] > 0
+    assert stats["neheap_max"] <= 3 * 8 + 9
+    assert stats["neheap_live"] == 0  # every core drained

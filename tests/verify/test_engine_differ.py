@@ -142,3 +142,31 @@ class TestFaultDetection:
         )
         (divergence,) = divergences
         assert divergence.signature == ("stash", "engine-value")
+
+
+class TestParallelSpeculationAxis:
+    """The parallel axis runs speculation on and off for every program."""
+
+    def test_clean_program_agrees_with_speculation(self):
+        from repro.verify import run_parallel_differential
+
+        options = RunOptions()
+        program = program_for("stash_race", options, ops=300)
+        assert run_parallel_differential(program, options=options) == []
+
+    def test_undo_corrupt_caught_only_by_speculative_runs(self):
+        from repro.verify import run_parallel_differential
+
+        options = RunOptions()
+        program = program_for("stash_race", options, ops=300)
+        fault = ENGINE_FAULTS["undo-corrupt"]
+        divergences = run_parallel_differential(
+            program, options=options, fault=fault
+        )
+        assert divergences, "undo-log corruption must be detected"
+        assert all(d.category.startswith("parallel-") for d in divergences)
+        assert all("speculate=on" in d.detail for d in divergences)
+
+    def test_undo_corrupt_inject_leaves_tables_clean(self):
+        tables = l1_tables(CoherenceProtocol.MESI)
+        assert ENGINE_FAULTS["undo-corrupt"].inject(tables) == tables
