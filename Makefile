@@ -75,9 +75,15 @@ fuzz:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --ops 2000 --seeds 25
 
 # Bounded fixed-seed sweep + seed-corpus replay (mirrors the CI
-# fuzz-smoke job; ~30 s).
+# fuzz-smoke job; ~30 s), plus a fixed-seed Tardis-vs-IDEAL pass (the
+# timestamp backend's bounded-staleness differ) and an algorithm-workload
+# characterization smoke.
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --ops 400 --seeds 8 --seed-corpus
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --kinds tardis --ops 600 --seeds 6
+	PYTHONPATH=src $(PYTHON) -m repro characterize \
+		--workloads louvain-like matmul-like sieve-like unionfind-like \
+		--cores 16 --ops 500
 
 examples:
 	$(PYTHON) examples/quickstart.py

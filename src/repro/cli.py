@@ -752,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--kinds", nargs="+",
         default=[
             "sparse", "cuckoo", "scd", "stash", "adaptive_stash", "in_llc",
+            "tardis",
         ],
         choices=[k.value for k in DirectoryKind if k.value != "ideal"],
         help="organizations to diff against the IDEAL reference",

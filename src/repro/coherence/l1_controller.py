@@ -117,34 +117,36 @@ class L1Controller:
             block, level = self.l1.access_block(addr)
             level_l1 = level == "l1"
         if block is not None:
+            hit_latency = self._lat_l1_hit if level_l1 else self._lat_l2_hit
+            if is_write:
+                state = block.state
+                if state == _S_SHARED or state == _S_OWNED:
+                    # S (and MOESI's O) write hits need an upgrade: other
+                    # copies must be invalidated before write permission is
+                    # granted.  The hit counter stays untouched — upgrades
+                    # count as upgrade_misses, and a key exists iff its
+                    # count is nonzero (the vector engine relies on this).
+                    return self._upgrade(addr, block, hit_latency)
+                if (
+                    state != _S_MODIFIED and state != _S_EXCLUSIVE
+                ):  # pragma: no cover
+                    raise ProtocolError(
+                        f"write hit in unexpected state {MesiState(state)}"
+                    )
+                # M hit, or silent E -> M upgrade: no protocol message.
+                block.state = _S_MODIFIED
+                block.dirty = True
+                block.version = self._mint_version(addr)
             if level_l1:
                 hit_cell = self._c_l1_hits
                 if hit_cell is None:
                     hit_cell = self._c_l1_hits = self.stats.counter("l1_hits")
-                hit_latency = self._lat_l1_hit
             else:
                 hit_cell = self._c_l2_hits
                 if hit_cell is None:
                     hit_cell = self._c_l2_hits = self.stats.counter("l2_hits")
-                hit_latency = self._lat_l2_hit
-            if not is_write:
-                hit_cell.value += 1
-                return hit_latency
-            state = block.state
-            if state == _S_MODIFIED or state == _S_EXCLUSIVE:
-                # M hit, or silent E -> M upgrade: no protocol message.
-                hit_cell.value += 1
-                block.state = _S_MODIFIED
-                block.dirty = True
-                block.version = self._mint_version(addr)
-                return hit_latency
-            if state != _S_SHARED and state != _S_OWNED:  # pragma: no cover
-                raise ProtocolError(
-                    f"write hit in unexpected state {MesiState(state)}"
-                )
-            # S (and MOESI's O) write hits need an upgrade: other copies
-            # must be invalidated before write permission is granted.
-            return self._upgrade(addr, block, hit_latency)
+            hit_cell.value += 1
+            return hit_latency
         return self._miss(addr, is_write)
 
     # -- upgrade (write hit on an S copy) ---------------------------------------

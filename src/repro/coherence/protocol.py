@@ -53,6 +53,24 @@ class CoherentSystem:
         self.memory = memory
         self.stats = stats
         self.discovery = DiscoveryEngine(network, l1s, stats.child("discovery"))
+        self._protocol_stats = stats.child("protocol")
+        if config.directory.kind is DirectoryKind.TARDIS:
+            from .tardis import TardisHome, TardisL1Controller
+
+            self.home = TardisHome(
+                config, directory, llc, l1s, network, memory,
+                self._protocol_stats,
+            )
+            self.l1_controllers = [
+                TardisL1Controller(
+                    core, l1s[core], self.home, network, config.timing,
+                    self._protocol_stats,
+                )
+                for core in range(config.num_cores)
+            ]
+            self._l1_access = [c.access for c in self.l1_controllers]
+            self._c_latency_total = None
+            return
         self.home = HomeController(
             config,
             directory,
@@ -70,7 +88,6 @@ class CoherentSystem:
             self.home.filter = PresenceFilter(
                 config.num_cores, slots, stats.child("filter")
             )
-        self._protocol_stats = stats.child("protocol")
         self.l1_controllers = [
             L1Controller(
                 core, l1s[core], self.home, network, config.timing,
@@ -124,6 +141,14 @@ class CoherentSystem:
 
     def check_invariants(self) -> None:
         """Run the full invariant suite; raises on the first violation."""
+        if self.config.directory.kind is DirectoryKind.TARDIS:
+            # Tardis legally violates SWMR (leased readers coexist with a
+            # writer) and LLC inclusion (leased copies survive eviction);
+            # it has its own invariant suite.
+            from .tardis import check_tardis_invariants
+
+            check_tardis_invariants(self)
+            return
         check_swmr(self.l1s)
         check_llc_inclusion(self.l1s, self.llc)
         check_directory_inclusion(self.l1s, self.llc, self.directory, self.is_stash)

@@ -38,6 +38,9 @@ class DirectoryKind(str, Enum):
     IN_LLC = "in_llc"      # sharer vector embedded in every LLC line (no
                            # conflicts; the storage-hungry design sparse
                            # directories exist to avoid)
+    TARDIS = "tardis"      # timestamp coherence (Yu & Devadas, PACT'15):
+                           # per-block read/write timestamps + lease-based
+                           # self-invalidation; no sharer tracking at all
 
 
 class MemoryModel(str, Enum):
@@ -126,6 +129,12 @@ class DirectoryConfig:
     # When > 0 (power of two), the home keeps per-core counting filters of
     # that many slots and discovery probes only matching cores (A5).
     discovery_filter_slots: int = 0
+    # Tardis-specific knobs (ignored by other kinds).  A read grant leases
+    # the block for ``tardis_lease`` op-clock ticks; the expired copy
+    # self-invalidates with no message.  ``tardis_ts_bits`` sizes the two
+    # per-block timestamps in the storage model.
+    tardis_lease: int = 16
+    tardis_ts_bits: int = 20
 
     def __post_init__(self) -> None:
         if self.coverage_ratio <= 0:
@@ -149,6 +158,10 @@ class DirectoryConfig:
                 "discovery_filter_slots must be 0 or a power of two, got "
                 f"{self.discovery_filter_slots}"
             )
+        if self.tardis_lease < 1:
+            raise ConfigError(f"tardis_lease must be >= 1, got {self.tardis_lease}")
+        if self.tardis_ts_bits < 1:
+            raise ConfigError(f"tardis_ts_bits must be >= 1, got {self.tardis_ts_bits}")
 
     def entries_for(self, num_cores: int, l1_blocks: int) -> int:
         """Resolve the entry count for a concrete system.

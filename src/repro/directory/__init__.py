@@ -33,6 +33,7 @@ from .sharers import (
     sharer_storage_bits,
 )
 from .sparse import SparseDirectory
+from .timestamp import TardisEntry, TimestampDirectory
 
 __all__ = [
     "AllocationResult",
@@ -50,6 +51,8 @@ __all__ = [
     "SharerRep",
     "ScdDirectory",
     "SparseDirectory",
+    "TardisEntry",
+    "TimestampDirectory",
     "hier_auto_cluster",
     "make_directory",
     "make_sharer_rep",
@@ -79,6 +82,11 @@ def make_directory(
         # The difference from IDEAL is purely the storage model (see
         # repro.energy.area).
         return IdealDirectory(config, num_cores, stats)
+    if config.kind is DirectoryKind.TARDIS:
+        # No sharer tracking: per-block timestamps living in the LLC tag
+        # array.  Entries exist exactly for LLC-resident blocks, like
+        # IN_LLC; the protocol logic lives in repro.coherence.tardis.
+        return TimestampDirectory(config, num_cores, stats)
     if config.kind is DirectoryKind.SPARSE:
         return SparseDirectory(config, num_cores, entries, rng, stats)
     if config.kind is DirectoryKind.CUCKOO:

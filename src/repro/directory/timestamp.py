@@ -1,0 +1,109 @@
+"""Timestamp "directory" for Tardis coherence — no sharer tracking at all.
+
+Tardis (Yu & Devadas, PACT'15) replaces the sharer vector with two
+per-block timestamps: ``wts`` (when the block was last written) and ``rts``
+(until when read copies are leased).  A read grant extends ``rts``; the
+reader's copy silently self-invalidates once the clock passes its lease, so
+the home never sends read invalidations and never needs to know who the
+readers are.  Only the single exclusive owner is remembered (an O(log N)
+pointer), for write-back forwarding.
+
+This module holds the state records; the protocol logic lives in
+:mod:`repro.coherence.tardis`.  Entries exist exactly for the LLC-resident
+blocks (the timestamps conceptually live in the LLC tag array), so the
+structure is conflict-free by construction and ``capacity`` is nominal 0 —
+the storage model (:mod:`repro.energy.area`) accounts two ``tardis_ts_bits``
+fields plus an owner pointer per LLC line instead of a directory SRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..common.config import DirectoryConfig
+from ..common.errors import DirectoryError
+from ..common.stats import StatGroup
+
+
+class TardisEntry:
+    """Per-block timestamp record: the whole of Tardis's coherence state."""
+
+    __slots__ = ("addr", "owner", "wts", "rts")
+
+    def __init__(self, addr: int) -> None:
+        self.addr = addr
+        self.owner: Optional[int] = None  # core holding E/M, if any
+        self.wts = 0  # op-clock tick of the last write grant
+        self.rts = 0  # op-clock tick until which read leases run
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TardisEntry(addr={self.addr:#x}, owner={self.owner}, "
+            f"wts={self.wts}, rts={self.rts})"
+        )
+
+
+class TimestampDirectory:
+    """Map of LLC-resident blocks to their :class:`TardisEntry`.
+
+    Deliberately *not* a :class:`~repro.directory.base.Directory` subclass
+    in spirit — there is no sharer representation, no set conflicts and no
+    eviction policy of its own (entries live and die with the LLC line) —
+    but it implements the same lookup/allocate/deallocate/occupancy surface
+    so system-level plumbing (gauges, ``effective_tracking``,
+    ``hidden_blocks``) works unchanged.
+    """
+
+    def __init__(self, config: DirectoryConfig, num_cores: int, stats: StatGroup) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.capacity = 0  # bounded by LLC residency, not by its own SRAM
+        self.stats = stats
+        self._entries: Dict[int, TardisEntry] = {}
+        self._c_hits = None
+        self._c_misses = None
+
+    # -- protocol-facing operations ------------------------------------------
+
+    def lookup(self, addr: int, touch: bool = True) -> Optional[TardisEntry]:
+        entry = self._entries.get(addr)
+        if touch:
+            if entry is not None:
+                cell = self._c_hits
+                if cell is None:
+                    cell = self._c_hits = self.stats.counter("hits")
+            else:
+                cell = self._c_misses
+                if cell is None:
+                    cell = self._c_misses = self.stats.counter("misses")
+            cell.value += 1
+        return entry
+
+    def allocate(self, addr: int) -> TardisEntry:
+        """Install a fresh entry (the block just filled into the LLC)."""
+        if addr in self._entries:
+            raise DirectoryError(f"block {addr:#x} is already tracked")
+        entry = TardisEntry(addr)
+        self._entries[addr] = entry
+        self.stats.add("allocations")
+        return entry
+
+    def deallocate(self, addr: int) -> None:
+        """Drop the entry (the block's LLC line was evicted)."""
+        if self._entries.pop(addr, None) is not None:
+            self.stats.add("deallocations")
+
+    # -- inspection ------------------------------------------------------------
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def iter_entries(self) -> Iterator[TardisEntry]:
+        for addr in sorted(self._entries):
+            yield self._entries[addr]
+
+    def contains(self, addr: int) -> bool:
+        return addr in self._entries
+
+    def obs_gauges(self) -> dict:
+        return {"occupancy": self.occupancy()}

@@ -50,7 +50,7 @@ def entry_bits(config: DirectoryConfig, num_cores: int, sets: int, block_bytes: 
     if config.kind in (DirectoryKind.CUCKOO, DirectoryKind.SCD):
         # Fully hashed / fully associative pools store the full block address.
         tag = block_addr_bits
-    elif config.kind is DirectoryKind.IN_LLC:
+    elif config.kind in (DirectoryKind.IN_LLC, DirectoryKind.TARDIS):
         # Embedded in the LLC line: the LLC tag already identifies the block.
         tag = 0
     else:
@@ -59,6 +59,12 @@ def entry_bits(config: DirectoryConfig, num_cores: int, sets: int, block_bytes: 
     valid = 1
     owner_ptr = max(1, (num_cores - 1).bit_length())
     replacement = max(1, (config.ways - 1).bit_length())  # LRU rank approx
+    if config.kind is DirectoryKind.TARDIS:
+        # No sharer vector at all: two timestamps (wts/rts) plus an owner
+        # pointer ride in the LLC tag array.  No replacement state either —
+        # entries live and die with the LLC line.  This is the O(log N)
+        # scaling story timestamp coherence trades its lease misses for.
+        return 2 * config.tardis_ts_bits + owner_ptr + valid
     if config.kind is DirectoryKind.SCD:
         from ..directory.hierarchical import DEFAULT_LEAF_SIZE, DEFAULT_POINTERS
 
@@ -85,7 +91,7 @@ def storage_of(config: SystemConfig) -> StorageEstimate:
     if dcfg.kind is DirectoryKind.IDEAL:
         # Report the duplicate-tag equivalent: one entry per private block.
         entries = config.num_cores * config.private_blocks_per_core
-    elif dcfg.kind is DirectoryKind.IN_LLC:
+    elif dcfg.kind in (DirectoryKind.IN_LLC, DirectoryKind.TARDIS):
         # One embedded entry per LLC line (no tag: the LLC tag serves).
         entries = config.llc.blocks
     sets = max(1, entries // dcfg.ways)

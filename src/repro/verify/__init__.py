@@ -25,6 +25,8 @@ from .differ import (
     RunOptions,
     check_stat_sanity,
     diff_engine_results,
+    diff_results,
+    diff_tardis_results,
     execute_program,
     execute_program_vector,
     make_fuzz_config,
@@ -58,6 +60,8 @@ __all__ = [
     "check_stat_sanity",
     "default_failure_root",
     "diff_engine_results",
+    "diff_results",
+    "diff_tardis_results",
     "execute_program",
     "execute_program_vector",
     "generate_program",

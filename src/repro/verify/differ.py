@@ -25,6 +25,14 @@ A :class:`Divergence` names the organization, a category (``crash``,
 offending operation where applicable.  The minimizer keys on the
 ``(kind, category)`` signature.
 
+The Tardis backend gets its own differ
+(:func:`diff_tardis_results`, categories ``tardis-value``,
+``tardis-stale``, ``tardis-write``): its leases make some stale reads
+*architecturally legal*, so instead of exact version equality it checks
+the bounded-staleness contract — reads observe committed versions,
+monotonically per core, never more than ``tardis_lease`` ops after the
+superseding write; writes and final state must still match exactly.
+
 Fault injection: :data:`FAULTS` maps names to test-only mutations of a
 built system (a lost invalidation message, a dropped stash bit, a sharer
 representation that violates its encoding contract).  They exist to prove
@@ -98,6 +106,7 @@ class RunOptions:
     check_every: int = 8
     clean_eviction_notification: bool = False
     discovery_filter_slots: int = 0
+    tardis_lease: int = 16
     seed: int = 1
 
     def to_meta(self) -> Dict[str, object]:
@@ -112,6 +121,7 @@ class RunOptions:
             "check_every": self.check_every,
             "clean_eviction_notification": self.clean_eviction_notification,
             "discovery_filter_slots": self.discovery_filter_slots,
+            "tardis_lease": self.tardis_lease,
             "seed": self.seed,
         }
 
@@ -130,6 +140,7 @@ class RunOptions:
                 meta.get("clean_eviction_notification", False)
             ),
             discovery_filter_slots=int(meta.get("discovery_filter_slots", 0)),
+            tardis_lease=int(meta.get("tardis_lease", 16)),
             seed=int(meta.get("seed", 1)),
         )
 
@@ -153,6 +164,7 @@ def make_fuzz_config(kind: DirectoryKind, options: RunOptions) -> SystemConfig:
         limited_pointers=options.limited_pointers,
         clean_eviction_notification=options.clean_eviction_notification,
         discovery_filter_slots=options.discovery_filter_slots,
+        tardis_lease=options.tardis_lease,
     )
 
 
@@ -241,6 +253,16 @@ def _inject_coarse_unclamped(system: CoherentSystem) -> None:
     )
 
 
+def _inject_ts_rollover(system: CoherentSystem) -> None:
+    # Tardis timestamps stored in 6 bits without rollover handling: once
+    # the op clock passes 63, the L1 lease comparison sees the wrapped
+    # clock and expired leases look live forever — stale reads escape the
+    # bounded-staleness window.  No-op on non-timestamp backends.
+    home = system.home
+    if hasattr(home, "ts_wrap_mask"):
+        home.ts_wrap_mask = 63
+
+
 #: Registry of injectable faults (``repro fuzz --inject-fault <name>``).
 FAULTS: Dict[str, FaultSpec] = {
     spec.name: spec
@@ -264,6 +286,11 @@ FAULTS: Dict[str, FaultSpec] = {
             "coarse-unclamped",
             "CoarseVector.targets() names nonexistent tail-group cores",
             _inject_coarse_unclamped,
+        ),
+        FaultSpec(
+            "ts-rollover",
+            "tardis timestamps wrap at 6 bits; expired leases look live again",
+            _inject_ts_rollover,
         ),
     )
 }
@@ -475,6 +502,128 @@ def diff_results(
     return None
 
 
+def diff_tardis_results(
+    program: Sequence[FlatOp],
+    reference: ExecutionResult,
+    candidate: ExecutionResult,
+    num_ops: int,
+    *,
+    lease: int,
+) -> Optional[Divergence]:
+    """First divergence of a Tardis replay from IDEAL, staleness-aware.
+
+    Tardis deliberately serves *bounded-stale* reads: a leased S copy
+    remains legally readable after a remote write supersedes it, until
+    its lease expires.  The exact-version comparison of
+    :func:`diff_results` would flag every such read, so this differ
+    checks the precise architectural contract instead:
+
+    * **Writes observe their own mint.**  Version minting is global and
+      program order is shared, so the k-th write mints version k in both
+      runs — any write disagreement is a real bug (``tardis-write``).
+    * **Reads observe a committed version, never from the future.**  An
+      observed version must appear in the block's write history (or be 0
+      for a never-written block) and must not exceed the latest version
+      at that op (``tardis-value``).
+    * **Per-core reads are monotone.**  A core that observed version v
+      of a block may never observe an older version of it later — grants
+      always hand out the latest, so staleness can only age out, not
+      regress (``tardis-value``).
+    * **Staleness is bounded by the lease.**  A read at op ``i``
+      observing a version superseded by the write at op ``j`` is legal
+      iff ``i - j < lease``: the copy's lease was granted before op
+      ``j`` (a grant hands out the then-latest version) and expires at
+      most ``lease`` ticks after the grant, one tick per op
+      (``tardis-stale``).
+    * **Final state and statistics** match exactly, as for every other
+      organization.
+    """
+    kind = candidate.kind.value
+    if not candidate.ok:
+        return Divergence(
+            kind,
+            candidate.error_category or "crash",
+            candidate.error_detail or "unknown failure",
+            candidate.error_op,
+        )
+    # Reconstruct each block's write history from the reference capture:
+    # the reference observes its own mint on every write, so entry k of a
+    # block's history is (k-th committed version, op index of that write).
+    births: Dict[int, List[tuple]] = {}
+    ref_versions = reference.versions
+    for index, (_, block, is_write) in enumerate(program):
+        if is_write:
+            births.setdefault(block, []).append((ref_versions[index], index))
+    last_observed: Dict[tuple, int] = {}
+    for index, (core, block, is_write) in enumerate(program):
+        want = ref_versions[index]
+        got = candidate.versions[index]
+        if is_write:
+            if got != want:
+                return Divergence(
+                    kind,
+                    "tardis-write",
+                    f"write minted version {got}, ideal minted {want}",
+                    index,
+                )
+        elif got != want:
+            if got > want:
+                return Divergence(
+                    kind,
+                    "tardis-value",
+                    f"read observed future version {got}, latest is {want}",
+                    index,
+                )
+            history = births.get(block, [])
+            if got != 0 and got not in {version for version, _ in history}:
+                return Divergence(
+                    kind,
+                    "tardis-value",
+                    f"read observed version {got}, never committed for "
+                    f"block {block:#x}",
+                    index,
+                )
+            prev = last_observed.get((core, block))
+            if prev is not None and got < prev:
+                return Divergence(
+                    kind,
+                    "tardis-value",
+                    f"read observed version {got} after already observing "
+                    f"{prev} (non-monotone)",
+                    index,
+                )
+            # The write that superseded the observed version (history is
+            # version-sorted: minting is globally monotone).
+            superseded_at = next(
+                (birth for version, birth in history if version > got), None
+            )
+            if superseded_at is not None and index - superseded_at >= lease:
+                return Divergence(
+                    kind,
+                    "tardis-stale",
+                    f"read observed version {got}, superseded "
+                    f"{index - superseded_at} ops earlier (lease {lease})",
+                    index,
+                )
+        last_observed[(core, block)] = got
+    if candidate.final_versions != reference.final_versions:
+        keys = set(reference.final_versions) | set(candidate.final_versions)
+        diffs = [
+            f"{addr:#x}: ideal={reference.final_versions.get(addr)} "
+            f"got={candidate.final_versions.get(addr)}"
+            for addr in sorted(keys)
+            if reference.final_versions.get(addr)
+            != candidate.final_versions.get(addr)
+        ]
+        return Divergence(
+            kind, "final-state", "committed versions differ: " + "; ".join(diffs[:4])
+        )
+    broken = check_stat_sanity(candidate, num_ops)
+    if broken is not None:
+        return Divergence(kind, "stats", broken)
+    return None
+
+
 def run_differential(
     program: Sequence[FlatOp],
     *,
@@ -520,7 +669,18 @@ def run_differential(
             check_every=options.check_every,
             fault=this_fault,
         )
-        divergence = diff_results(reference, candidate, len(program))
+        if kind is DirectoryKind.TARDIS:
+            # Exact-version comparison would flag every legally stale
+            # read; check the bounded-staleness contract instead.
+            divergence = diff_tardis_results(
+                program,
+                reference,
+                candidate,
+                len(program),
+                lease=options.tardis_lease,
+            )
+        else:
+            divergence = diff_results(reference, candidate, len(program))
         if divergence is not None:
             divergences.append(divergence)
     return divergences

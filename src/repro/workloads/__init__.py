@@ -2,6 +2,12 @@
 and the content-addressed trace store that materializes each workload
 exactly once per sweep (:mod:`repro.workloads.store`)."""
 
+from .algorithms import (
+    graph_clustering,
+    prime_sieve,
+    tiled_matmul,
+    union_find,
+)
 from .characterize import TraceProfile, histogram_buckets, profile_trace
 from .store import TraceStore, get_packed_trace, trace_key
 from .patterns import (
@@ -16,6 +22,7 @@ from .patterns import (
     uniform_mix,
 )
 from .suite import (
+    ALGORITHM_WORKLOADS,
     EXTRA_WORKLOADS,
     SUITE,
     SUITE_ORDER,
@@ -32,6 +39,7 @@ from .synthetic import (
 )
 
 __all__ = [
+    "ALGORITHM_WORKLOADS",
     "BlockStream",
     "PhasedStream",
     "SequentialStream",
@@ -46,16 +54,20 @@ __all__ = [
     "build_workload",
     "false_sharing",
     "get_packed_trace",
+    "graph_clustering",
     "lock_contention",
     "histogram_buckets",
     "migratory",
     "phased",
+    "prime_sieve",
     "private_working_set",
     "producer_consumer",
     "profile_trace",
     "shared_read_only",
     "streaming",
+    "tiled_matmul",
     "trace_key",
     "uniform_mix",
+    "union_find",
     "workload_names",
 ]

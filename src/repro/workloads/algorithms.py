@@ -1,0 +1,290 @@
+"""Algorithm-derived trace generators.
+
+Where :mod:`repro.workloads.patterns` provides canonical sharing *shapes*,
+these generators model the memory behaviour of four concrete parallel
+algorithms (ROADMAP item 3): louvain-style graph clustering, tiled dense
+matrix multiply, a segmented prime sieve, and union-find image
+segmentation.  Each emits the directory-relevant footprint of the real
+algorithm — region roles, read/write mix, migration and phase structure —
+while staying deterministic under ``(seed, num_cores, ops_per_core)`` like
+every other generator.
+
+Address-space layout reuses the pattern conventions: per-core private
+regions from :func:`~repro.workloads.patterns._private_base`, shared
+regions from :func:`~repro.workloads.patterns._shared_base`, block
+addresses via the validated ``block_bytes`` shift.
+"""
+
+from __future__ import annotations
+
+from ..common.addr import stride_hash
+from ..common.errors import ConfigError
+from ..common.rng import DeterministicRng
+from ..sim.trace import Trace
+from .patterns import _block_shift, _private_base, _shared_base
+from .synthetic import SequentialStream, ZipfStream
+
+
+def _check_frac(name: str, value: float) -> None:
+    if not 0 <= value <= 1:
+        raise ConfigError(f"{name} must be in [0, 1]")
+
+
+def graph_clustering(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    frontier_blocks: int = 512,
+    label_blocks: int = 192,
+    private_blocks: int = 128,
+    frontier_frac: float = 0.45,
+    label_frac: float = 0.2,
+    block_bytes: int = 64,
+) -> Trace:
+    """Louvain-style graph clustering (modularity optimization).
+
+    Three region roles:
+
+    * **frontier** — the adjacency/frontier structure every worker scans
+      while evaluating candidate moves.  Read-mostly and widely shared
+      (never stash-eligible, zero invalidation traffic).
+    * **community labels** — the per-community label/weight words a move
+      commits to.  Each touch is a read-modify-write pair, so label blocks
+      migrate core to core exactly like lock-free reduction variables.
+    * **private accumulators** — each worker's own delta-modularity
+      scratch, written about half the time.
+
+    The blend of a large read-shared region with a migratory hot set is
+    what distinguishes clustering from the pure patterns.
+    """
+    _check_frac("frontier_frac", frontier_frac)
+    _check_frac("label_frac", label_frac)
+    if frontier_frac + label_frac > 1:
+        raise ConfigError("frontier_frac + label_frac must be <= 1")
+    trace = Trace(num_cores)
+    shift = _block_shift(block_bytes)
+    frontier_base = _shared_base(num_cores, region=0)
+    label_base = _shared_base(num_cores, region=1)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        frontier = ZipfStream(frontier_blocks, crng, 0.7)
+        labels = ZipfStream(label_blocks, crng.spawn(1), 0.6)
+        private = ZipfStream(private_blocks, crng.spawn(2), 0.6)
+        base = _private_base(core)
+        emitted = 0
+        while emitted < ops_per_core:
+            draw = crng.random()
+            if draw < frontier_frac:
+                # Neighbour-list scan: pure reads of the shared graph.
+                addr = (frontier_base + frontier.next()) << shift
+                trace.append(core, addr, False)
+                emitted += 1
+            elif draw < frontier_frac + label_frac:
+                # Commit a move: read the community label, write it back.
+                addr = (label_base + labels.next()) << shift
+                trace.append(core, addr, False)
+                emitted += 1
+                if emitted < ops_per_core:
+                    trace.append(core, addr, True)
+                    emitted += 1
+            else:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < 0.5)
+                emitted += 1
+    return trace
+
+
+def tiled_matmul(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    tile_blocks: int = 32,
+    panel_blocks: int = 256,
+    phase_len: int = 48,
+    panel_frac: float = 0.35,
+    block_bytes: int = 64,
+) -> Trace:
+    """Tiled dense matrix multiply with a systolic tile rotation.
+
+    Each phase, core ``k`` produces its output tile (sequential writes to
+    its own shared tile region) while consuming the tile core ``k-1``
+    produced last phase (sequential reads) and streaming a read-shared
+    input panel.  A phase barrier — one shared line every core
+    read-modify-writes at the boundary — separates phases, so tile regions
+    flip producer/consumer roles in lockstep: classic neighbour handoff
+    with bulk-synchronous structure.
+    """
+    _check_frac("panel_frac", panel_frac)
+    if phase_len < 2:
+        raise ConfigError("phase_len must be >= 2")
+    trace = Trace(num_cores)
+    shift = _block_shift(block_bytes)
+    panel_base = _shared_base(num_cores, region=0)
+    barrier_addr = _shared_base(num_cores, region=1) << shift
+    # One tile region per core, after the panel/barrier regions.
+    tile_base = [
+        _shared_base(num_cores, region=2 + core) for core in range(num_cores)
+    ]
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        panel = ZipfStream(panel_blocks, crng, 0.5)
+        produce = SequentialStream(tile_blocks)
+        consume = SequentialStream(tile_blocks)
+        own = tile_base[core]
+        neighbour = tile_base[(core - 1) % num_cores]
+        emitted = 0
+        while emitted < ops_per_core:
+            budget = min(phase_len, ops_per_core - emitted)
+            # Compute phase: interleave panel reads, consume reads of the
+            # neighbour's last tile, produce writes of our own tile.
+            for pos in range(budget - 2 if budget > 2 else budget):
+                draw = crng.random()
+                if draw < panel_frac:
+                    addr = (panel_base + panel.next()) << shift
+                    trace.append(core, addr, False)
+                elif draw < panel_frac + (1 - panel_frac) / 2:
+                    addr = (neighbour + consume.next()) << shift
+                    trace.append(core, addr, False)
+                else:
+                    addr = (own + produce.next()) << shift
+                    trace.append(core, addr, True)
+                emitted += 1
+            # Barrier: read the counter, then write the arrival.
+            if budget > 2:
+                trace.append(core, barrier_addr, False)
+                trace.append(core, barrier_addr, True)
+                emitted += 2
+    return trace
+
+
+def prime_sieve(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    bitmap_blocks: int = 2048,
+    base_prime_blocks: int = 32,
+    read_frac: float = 0.15,
+    block_bytes: int = 64,
+) -> Trace:
+    """Segmented sieve of Eratosthenes over a shared bitmap.
+
+    Core ``k`` crosses off multiples of the ``k``-th odd prime: strided
+    writes that sweep the shared composite bitmap.  Between write bursts
+    every core re-reads the (read-only) base-prime table.  The bitmap is
+    write-dominated and striped across cores — high write fraction with
+    wide, low-reuse sharing, the opposite corner of the design space from
+    read-mostly frontiers.
+    """
+    _check_frac("read_frac", read_frac)
+    if bitmap_blocks < 2:
+        raise ConfigError("bitmap_blocks must be >= 2")
+    trace = Trace(num_cores)
+    shift = _block_shift(block_bytes)
+    bitmap_base = _shared_base(num_cores, region=0)
+    table_base = _shared_base(num_cores, region=1)
+    primes = _odd_primes(num_cores)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        table = SequentialStream(base_prime_blocks)
+        stride = primes[core]
+        # Start each core's sweep at its prime (the first composite it
+        # owns), like the real segmented sieve.
+        pos = stride % bitmap_blocks
+        for _ in range(ops_per_core):
+            if crng.random() < read_frac:
+                addr = (table_base + table.next()) << shift
+                trace.append(core, addr, False)
+            else:
+                addr = (bitmap_base + pos) << shift
+                trace.append(core, addr, True)
+                pos = (pos + stride) % bitmap_blocks
+    return trace
+
+
+def union_find(
+    num_cores: int,
+    ops_per_core: int,
+    rng: DeterministicRng,
+    *,
+    node_blocks: int = 1024,
+    root_blocks: int = 24,
+    max_depth: int = 6,
+    compress_frac: float = 0.4,
+    private_frac: float = 0.3,
+    block_bytes: int = 64,
+) -> Trace:
+    """Union-find image segmentation with path compression.
+
+    Each find operation walks a parent-pointer chain through the shared
+    node array (dependent reads — pointer chasing), lands on a root drawn
+    from a small hot set, and unions into it with a read-modify-write.
+    With probability ``compress_frac`` the walk is compressed: every
+    visited node is rewritten to point at the root.  Roots are migratory
+    (each union moves ownership); interior nodes are read-shared until a
+    compression rewrites them; per-core pixel scratch stays private.
+    """
+    _check_frac("compress_frac", compress_frac)
+    _check_frac("private_frac", private_frac)
+    if max_depth < 1:
+        raise ConfigError("max_depth must be >= 1")
+    if node_blocks < max_depth:
+        raise ConfigError("node_blocks must be >= max_depth")
+    trace = Trace(num_cores)
+    shift = _block_shift(block_bytes)
+    node_base = _shared_base(num_cores, region=0)
+    root_base = _shared_base(num_cores, region=1)
+    for core in range(num_cores):
+        crng = rng.spawn(core)
+        leaves = ZipfStream(node_blocks, crng, 0.4)
+        roots = ZipfStream(root_blocks, crng.spawn(1), 0.7)
+        private = ZipfStream(128, crng.spawn(2), 0.6)
+        base = _private_base(core)
+        emitted = 0
+        while emitted < ops_per_core:
+            if crng.random() < private_frac:
+                addr = (base + private.next()) << shift
+                trace.append(core, addr, crng.random() < 0.3)
+                emitted += 1
+                continue
+            # Find: chase parent pointers from a leaf.  The chain is a
+            # deterministic function of the node (hash step), so distinct
+            # cores racing on the same component walk the same blocks.
+            depth = crng.randint(1, max_depth)
+            node = leaves.next()
+            path = []
+            budget = ops_per_core - emitted
+            for _ in range(min(depth, budget)):
+                path.append(node)
+                trace.append(core, (node_base + node) << shift, False)
+                emitted += 1
+                node = stride_hash(node, 0x5EED) % node_blocks
+            # Union at the root: read it, write the merged rank/parent.
+            root = roots.next()
+            root_addr = (root_base + root) << shift
+            for is_write in (False, True):
+                if emitted >= ops_per_core:
+                    break
+                trace.append(core, root_addr, is_write)
+                emitted += 1
+            # Path compression: rewrite the walked nodes to the root.
+            if crng.random() < compress_frac:
+                for node in path:
+                    if emitted >= ops_per_core:
+                        break
+                    trace.append(core, (node_base + node) << shift, True)
+                    emitted += 1
+    return trace
+
+
+def _odd_primes(count: int) -> list:
+    """The first ``count`` odd primes (sieve strides, one per core)."""
+    primes = []
+    candidate = 3
+    while len(primes) < count:
+        if all(candidate % p for p in primes):
+            primes.append(candidate)
+        candidate += 2
+    return primes

@@ -13,7 +13,7 @@ converted to byte addresses with the system block size.
 
 from __future__ import annotations
 
-from ..common.addr import stride_hash
+from ..common.addr import log2_exact, stride_hash
 from ..common.errors import ConfigError
 from ..common.rng import DeterministicRng
 from ..sim.trace import Trace
@@ -26,6 +26,16 @@ REGION_SPAN = 1 << 20
 #: Window for the per-region base scatter (see below); regions stay
 #: disjoint as long as a region's working set is below REGION_SPAN / 2.
 _SCATTER = REGION_SPAN // 2
+
+
+def _block_shift(block_bytes: int) -> int:
+    """Validated block-address shift for a generator's ``block_bytes``.
+
+    ``bit_length() - 1`` on a non-power-of-two would silently truncate and
+    alias distinct blocks; :func:`~repro.common.addr.log2_exact` raises
+    :class:`~repro.common.errors.ConfigError` instead.
+    """
+    return log2_exact(block_bytes)
 
 
 def _scatter(slot: int) -> int:
@@ -68,7 +78,7 @@ def private_working_set(
     if not 0 <= write_frac <= 1:
         raise ConfigError("write_frac must be in [0, 1]")
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     for core in range(num_cores):
         crng = rng.spawn(core)
         stream = ZipfStream(ws_blocks, crng, zipf_alpha)
@@ -98,7 +108,7 @@ def shared_read_only(
     count.
     """
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     shared_base = _shared_base(num_cores)
     for core in range(num_cores):
         crng = rng.spawn(core)
@@ -123,28 +133,42 @@ def producer_consumer(
     buffer_blocks: int = 64,
     private_blocks: int = 128,
     comm_frac: float = 0.3,
+    return_frac: float = 0.5,
     block_bytes: int = 64,
 ) -> Trace:
     """Neighbouring core pairs exchange data through per-pair buffers.
 
     Core ``2k`` writes buffer ``k``; core ``2k+1`` reads it (and vice versa
-    on the return buffer).  The buffer blocks migrate M -> S repeatedly —
-    tracked, two-sharer entries that stashing must leave alone.
+    on the return buffer: core ``2k+1`` writes, core ``2k`` reads).  Each
+    communication op lands on the return buffer with probability
+    ``return_frac``, so traffic flows both ways.  The buffer blocks migrate
+    M -> S repeatedly — tracked, two-sharer entries that stashing must
+    leave alone.
     """
+    if not 0 <= return_frac <= 1:
+        raise ConfigError("return_frac must be in [0, 1]")
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     for core in range(num_cores):
         crng = rng.spawn(core)
         pair = core // 2
         is_producer = core % 2 == 0
-        buf_base = _shared_base(num_cores, region=pair)
-        buf = SequentialStream(buffer_blocks)
+        # Two disjoint regions per pair: forward (even core writes) and
+        # return (odd core writes).
+        fwd_base = _shared_base(num_cores, region=2 * pair)
+        ret_base = _shared_base(num_cores, region=2 * pair + 1)
+        fwd = SequentialStream(buffer_blocks)
+        ret = SequentialStream(buffer_blocks)
         private = ZipfStream(private_blocks, crng, 0.6)
         base = _private_base(core)
         for _ in range(ops_per_core):
             if crng.random() < comm_frac:
-                addr = (buf_base + buf.next()) << shift
-                trace.append(core, addr, is_producer)
+                if crng.random() < return_frac:
+                    addr = (ret_base + ret.next()) << shift
+                    trace.append(core, addr, not is_producer)
+                else:
+                    addr = (fwd_base + fwd.next()) << shift
+                    trace.append(core, addr, is_producer)
             else:
                 addr = (base + private.next()) << shift
                 trace.append(core, addr, crng.random() < 0.2)
@@ -170,7 +194,7 @@ def migratory(
     exactly the case the stash directory exploits even for "shared" data.
     """
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     mig_base = _shared_base(num_cores)
     for core in range(num_cores):
         crng = rng.spawn(core)
@@ -182,9 +206,13 @@ def migratory(
             if crng.random() < migratory_frac:
                 block = mig.next()
                 addr = (mig_base + block) << shift
-                # Read-modify-write bursts on the migratory object.
-                for _ in range(min(burst, ops_per_core - ops_emitted)):
-                    trace.append(core, addr, ops_emitted % 2 == 1)
+                # Read-modify-write bursts on the migratory object: the
+                # alternation is indexed *within* the burst so every burst
+                # opens with the read half of its read-then-write pairs
+                # (global-parity indexing made odd-offset bursts lead with
+                # a blind write).
+                for pos in range(min(burst, ops_per_core - ops_emitted)):
+                    trace.append(core, addr, pos % 2 == 1)
                     ops_emitted += 1
             else:
                 addr = (base + private.next()) << shift
@@ -209,7 +237,7 @@ def streaming(
     anyway) — the pattern where stashing helps least.
     """
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     for core in range(num_cores):
         crng = rng.spawn(core)
         stream = SequentialStream(stream_blocks)
@@ -234,7 +262,7 @@ def uniform_mix(
 ) -> Trace:
     """General-purpose mix: private Zipf traffic plus read-write sharing."""
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     shared_base = _shared_base(num_cores)
     for core in range(num_cores):
         crng = rng.spawn(core)
@@ -273,7 +301,7 @@ def false_sharing(
     if not 0 <= fs_frac <= 1:
         raise ConfigError("fs_frac must be in [0, 1]")
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     hot_base = _shared_base(num_cores)
     words_per_block = max(1, block_bytes // 8)
     for core in range(num_cores):
@@ -316,7 +344,7 @@ def lock_contention(
     if spin_reads < 0:
         raise ConfigError("spin_reads must be non-negative")
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     lock_base = _shared_base(num_cores, region=0)
     data_base = _shared_base(num_cores, region=1)
     for core in range(num_cores):
@@ -371,7 +399,7 @@ def phased(
     if compute_len < 1 or exchange_len < 1:
         raise ConfigError("phase lengths must be >= 1")
     trace = Trace(num_cores)
-    shift = block_bytes.bit_length() - 1
+    shift = _block_shift(block_bytes)
     shared_base = _shared_base(num_cores)
     for core in range(num_cores):
         crng = rng.spawn(core)

@@ -31,7 +31,7 @@ from typing import Callable, Dict, List
 from ..common.errors import ConfigError
 from ..common.rng import DeterministicRng
 from ..sim.trace import Trace
-from . import patterns
+from . import algorithms, patterns
 
 
 @dataclass(frozen=True)
@@ -162,6 +162,33 @@ SUITE: Dict[str, WorkloadSpec] = {
             patterns.lock_contention,
             {"num_locks": 4, "lock_frac": 0.2},
         ),
+        # Algorithm-derived workloads (repro.workloads.algorithms): traces
+        # modelling concrete parallel algorithms rather than pure sharing
+        # shapes.  See ALGORITHM_WORKLOADS.
+        WorkloadSpec(
+            "louvain-like",
+            "graph clustering: read-mostly frontier + migratory community labels",
+            algorithms.graph_clustering,
+            {},
+        ),
+        WorkloadSpec(
+            "matmul-like",
+            "tiled dense matmul: systolic tile handoff with phase barriers",
+            algorithms.tiled_matmul,
+            {},
+        ),
+        WorkloadSpec(
+            "sieve-like",
+            "segmented prime sieve: strided writes over a shared bitmap",
+            algorithms.prime_sieve,
+            {},
+        ),
+        WorkloadSpec(
+            "unionfind-like",
+            "union-find segmentation: pointer chasing + migratory roots",
+            algorithms.union_find,
+            {},
+        ),
         WorkloadSpec(
             "weakscale-like",
             "weak-scaling unit: compact private set, long post-warmup hit runs",
@@ -197,10 +224,19 @@ EXTRA_WORKLOADS: List[str] = [
 ]
 
 
+#: Algorithm-derived workloads (:mod:`repro.workloads.algorithms`).
+ALGORITHM_WORKLOADS: List[str] = [
+    "louvain-like",
+    "matmul-like",
+    "sieve-like",
+    "unionfind-like",
+]
+
+
 def workload_names() -> List[str]:
     """Names accepted by :func:`build_workload`: the evaluation order plus
-    the extra stress workloads."""
-    return list(SUITE_ORDER) + list(EXTRA_WORKLOADS)
+    the extra stress and algorithm-derived workloads."""
+    return list(SUITE_ORDER) + list(EXTRA_WORKLOADS) + list(ALGORITHM_WORKLOADS)
 
 
 def build_workload(

@@ -31,6 +31,23 @@ class TestHiddenBlocks:
         assert system.effective_tracking() == system.directory.occupancy() + 1
 
 
+class TestZeroKeysNeverMaterialize:
+    def test_upgrade_only_run_has_no_l1_hits_key(self):
+        # An S-state write hit takes the upgrade path without counting an
+        # L1 hit.  The counter must not be *created* along the way either:
+        # the vector engine's flat-stats contract is "a key exists iff its
+        # count is nonzero", and the engine differential compares the
+        # trees exactly (regression for a hit cell materialized at 0.0
+        # before the upgrade branch was taken).
+        system = build_system(tiny_config())
+        system.access(0, 0, is_write=False)
+        system.access(1, 0, is_write=False)  # both copies now SHARED
+        system.access(0, 0, is_write=True)   # S write hit -> upgrade
+        flat = system.flat_stats()
+        assert flat["system.protocol.upgrade_misses"] == 1
+        assert "system.protocol.l1_hits" not in flat
+
+
 class TestStatsFacade:
     def test_flat_stats_snapshot(self):
         system = build_system(tiny_config())

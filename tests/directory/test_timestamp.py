@@ -1,0 +1,68 @@
+"""Unit tests for the Tardis timestamp directory."""
+
+import pytest
+
+from repro.common.config import DirectoryConfig, DirectoryKind
+from repro.common.errors import DirectoryError
+from repro.common.stats import StatGroup
+from repro.directory import TimestampDirectory, make_directory
+from repro.common.rng import DeterministicRng
+
+
+def make_dir(num_cores=4):
+    config = DirectoryConfig(kind=DirectoryKind.TARDIS)
+    return TimestampDirectory(config, num_cores, StatGroup("dir"))
+
+
+class TestLifecycle:
+    def test_allocate_then_lookup(self):
+        d = make_dir()
+        entry = d.allocate(0x40)
+        assert d.lookup(0x40) is entry
+        assert entry.owner is None
+        assert entry.wts == 0 and entry.rts == 0
+
+    def test_double_allocate_rejected(self):
+        d = make_dir()
+        d.allocate(0x40)
+        with pytest.raises(DirectoryError):
+            d.allocate(0x40)
+
+    def test_deallocate(self):
+        d = make_dir()
+        d.allocate(0x40)
+        d.deallocate(0x40)
+        assert d.lookup(0x40) is None
+        assert not d.contains(0x40)
+        d.deallocate(0x40)  # idempotent
+
+    def test_occupancy_and_iteration_sorted(self):
+        d = make_dir()
+        for addr in (0x80, 0x40, 0xC0):
+            d.allocate(addr)
+        assert d.occupancy() == 3
+        assert [e.addr for e in d.iter_entries()] == [0x40, 0x80, 0xC0]
+        assert d.obs_gauges() == {"occupancy": 3}
+
+
+class TestStats:
+    def test_hit_miss_counters(self):
+        d = make_dir()
+        d.allocate(0x40)
+        d.lookup(0x40)
+        d.lookup(0x99)
+        d.lookup(0x40, touch=False)  # untouched probes don't count
+        flat = d.stats.to_dict()
+        assert flat["dir.hits"] == 1
+        assert flat["dir.misses"] == 1
+
+
+class TestFactory:
+    def test_make_directory_builds_timestamp_kind(self):
+        config = DirectoryConfig(kind=DirectoryKind.TARDIS)
+        d = make_directory(
+            config, 4, 64, DeterministicRng(1), StatGroup("dir")
+        )
+        assert isinstance(d, TimestampDirectory)
+        # Capacity is nominal: entries are bounded by LLC residency.
+        assert d.capacity == 0

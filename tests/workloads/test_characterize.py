@@ -59,3 +59,19 @@ class TestBuckets:
         assert deg2 == 1 / 3
         assert deg34 == 1 / 3
         assert deg58 == 0.0
+
+    def test_small_core_counts_keep_buckets_normalized(self):
+        # With num_cores < 9 the deg>8 bucket's range (9, num_cores) is
+        # empty and the deg=5-8 range may be partial; every degree that
+        # actually occurs must still land in exactly one bucket.
+        for cores in (2, 4, 6, 8):
+            trace = Trace(cores)
+            for core in range(cores):
+                trace.append(core, 0, False)       # degree = cores
+                trace.append(core, (core + 1) << 6, False)  # degree 1
+            profile = profile_trace(trace, 64)
+            buckets = histogram_buckets(profile, cores)
+            assert abs(sum(buckets) - 1.0) < 1e-9
+            assert buckets[0] > 0.0  # the private blocks
+            if cores < 9:
+                assert buckets[4] == 0.0  # deg>8 impossible

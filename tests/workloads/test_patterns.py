@@ -66,9 +66,27 @@ class TestProducerConsumer:
         assert profile.degree_fraction(2) == 1.0
 
     def test_producer_writes_consumer_reads(self):
-        trace = producer_consumer(2, OPS, rng(), comm_frac=1.0)
+        trace = producer_consumer(2, OPS, rng(), comm_frac=1.0, return_frac=0.0)
         assert all(w for _, w in trace.ops[0])
         assert not any(w for _, w in trace.ops[1])
+
+    def test_return_buffer_reverses_roles(self):
+        # On the return buffer the "consumer" core writes and the
+        # "producer" core reads — both directions of the hand-off exist.
+        trace = producer_consumer(2, OPS, rng(), comm_frac=1.0, return_frac=1.0)
+        assert not any(w for _, w in trace.ops[0])
+        assert all(w for _, w in trace.ops[1])
+
+    def test_forward_and_return_buffers_disjoint(self):
+        fwd = producer_consumer(2, OPS, rng(), comm_frac=1.0, return_frac=0.0)
+        ret = producer_consumer(2, OPS, rng(), comm_frac=1.0, return_frac=1.0)
+        fwd_blocks = {a >> 6 for core in range(2) for a, _ in fwd.ops[core]}
+        ret_blocks = {a >> 6 for core in range(2) for a, _ in ret.ops[core]}
+        assert not (fwd_blocks & ret_blocks)
+
+    def test_rejects_bad_return_frac(self):
+        with pytest.raises(ConfigError):
+            producer_consumer(CORES, OPS, rng(), return_frac=1.5)
 
 
 class TestMigratory:
@@ -86,6 +104,46 @@ class TestMigratory:
         trace = migratory(CORES, 123, rng())
         for core in range(CORES):
             assert trace.core_ops(core) == 123
+
+    def test_burst_opens_with_read_then_alternates(self):
+        # Regression: the burst loop used the global op index for its
+        # read/write parity, so bursts starting on an odd index opened
+        # with a write and the intended read-modify-write shape (and any
+        # fixed write fraction) drifted with burst alignment.  Parity is
+        # now burst-local: positions 0, 2, 4... read; 1, 3, 5... write.
+        trace = migratory(1, 200, rng(), migratory_frac=1.0, burst=4)
+        ops = trace.ops[0]
+        for start in range(0, 200, 4):
+            chunk = ops[start:start + 4]
+            assert [w for _, w in chunk] == [False, True, False, True]
+            assert len({a for a, _ in chunk}) == 1  # one block per burst
+
+    def test_exact_write_fraction_with_even_burst(self):
+        trace = migratory(CORES, 400, rng(), migratory_frac=1.0, burst=8)
+        assert trace.write_fraction() == 0.5
+
+
+class TestBlockShiftValidation:
+    def test_non_power_of_two_block_rejected_everywhere(self):
+        # Regression: the shift was computed as bit_length() - 1, which
+        # silently floor-rounded non-power-of-two block sizes (e.g. 48 ->
+        # shift 5) and aliased distinct blocks; it is now log2_exact.
+        generators = [
+            private_working_set,
+            shared_read_only,
+            producer_consumer,
+            migratory,
+            streaming,
+            uniform_mix,
+        ]
+        for generator in generators:
+            with pytest.raises(ConfigError):
+                generator(CORES, 16, rng(), block_bytes=48)
+
+    def test_power_of_two_blocks_accepted(self):
+        for block_bytes in (32, 64, 128):
+            trace = streaming(1, 16, rng(), block_bytes=block_bytes)
+            assert trace.total_ops() == 16
 
 
 class TestStreaming:

@@ -17,9 +17,11 @@ class TestRegistry:
         assert set(SUITE_ORDER) <= set(SUITE)
 
     def test_names_helper_lists_order_then_extras(self):
-        from repro.workloads.suite import EXTRA_WORKLOADS
+        from repro.workloads.suite import ALGORITHM_WORKLOADS, EXTRA_WORKLOADS
 
-        assert workload_names() == SUITE_ORDER + EXTRA_WORKLOADS
+        assert workload_names() == (
+            SUITE_ORDER + EXTRA_WORKLOADS + ALGORITHM_WORKLOADS
+        )
         assert set(workload_names()) == set(SUITE)
 
     def test_every_spec_has_description(self):
